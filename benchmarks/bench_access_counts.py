@@ -1,0 +1,16 @@
+"""E1 — Section 4.1.1: effective writes after silent-update elimination.
+
+Paper reference: TAGE 2.17 writes/misprediction and 9.06 writes/100
+branches, GEHL 1.94 and 9.10, gshare 1.54 and 9.61.
+"""
+
+from benchmarks.conftest import report, run_once
+from repro.analysis.experiments import run_access_counts
+
+
+def test_bench_access_counts(benchmark, bench_suite):
+    table = run_once(benchmark, lambda: run_access_counts(bench_suite))
+    report(table)
+    # Silent-update elimination: well under one write access per branch.
+    for row in table.rows:
+        assert row[2] < 100.0

@@ -1,0 +1,21 @@
+"""E11 — Figure 10 / Section 6.3: comparison against the neural finalists.
+
+Paper reference (MPPKI): on the 7 least-predictable traces ISL-TAGE 2311,
+TAGE-LSC 2287, OH-SNAP 2227, FTL++ 2222 (neural predictors slightly
+ahead); on the 33 most-predictable traces ISL-TAGE 196, TAGE-LSC 198,
+OH-SNAP 254, FTL++ 232 (the TAGE family clearly ahead).
+"""
+
+from benchmarks.conftest import report, run_once
+from repro.analysis.experiments import run_fig10_hard_traces
+
+
+def test_bench_fig10_hard_benchmarks(benchmark, bench_mixed_suite):
+    table = run_once(benchmark, lambda: run_fig10_hard_traces(bench_mixed_suite))
+    report(table)
+    # Hard traces mispredict far more than easy ones for every predictor.
+    for row in table.rows:
+        assert row[1] > row[2]
+    # The TAGE family stays ahead of the neural comparators on easy traces.
+    easy = dict(zip(table.column("predictor"), table.column("mppki (33 easy)")))
+    assert easy["tage-lsc"] <= easy["oh-snap-like"] * 1.05

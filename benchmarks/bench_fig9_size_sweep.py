@@ -1,0 +1,24 @@
+"""E10 — Figure 9: TAGE vs TAGE-LSC from 128 Kbits to 32 Mbits.
+
+Paper reference: in the 128 Kbit - 512 Kbit range TAGE-LSC performs like a
+4-8x larger TAGE; both curves flatten out at the 16-32 Mbit budgets.
+The default sweep covers 2**-2 .. 2**+2 around the reference size; export
+``REPRO_BENCH_BRANCHES``/``REPRO_BENCH_TRACES`` for a fuller sweep.
+"""
+
+from benchmarks.conftest import report, run_once
+from repro.analysis.experiments import run_fig9_size_sweep
+
+
+def test_bench_fig9_size_sweep(benchmark, bench_suite):
+    table = run_once(
+        benchmark, lambda: run_fig9_size_sweep(bench_suite, log2_factors=[-2, -1, 0, 1, 2])
+    )
+    report(table)
+    tage_curve = table.column("tage mppki")
+    lsc_curve = table.column("tage-lsc mppki")
+    # Bigger predictors are (weakly) better, and TAGE-LSC tracks or beats a
+    # same-size TAGE at every point of the sweep.
+    assert tage_curve[-1] <= tage_curve[0] * 1.05
+    assert lsc_curve[-1] <= lsc_curve[0] * 1.05
+    assert all(lsc <= tage * 1.10 for tage, lsc in zip(tage_curve, lsc_curve))

@@ -1,0 +1,15 @@
+"""E7 — Section 5.4: the complete ISL-TAGE predictor.
+
+Paper reference: ISL-TAGE reduces the misprediction rate of the 512 Kbit
+TAGE predictor by about 6 %, roughly what scaling TAGE to 2 Mbits buys.
+"""
+
+from benchmarks.conftest import report, run_once
+from repro.analysis.experiments import run_side_predictor_stack
+
+
+def test_bench_isl_tage(benchmark, bench_suite):
+    table = run_once(benchmark, lambda: run_side_predictor_stack(bench_suite))
+    report(table)
+    mppki = dict(zip(table.column("predictor"), table.column("mppki")))
+    assert mppki["isl-tage (tage+ium+loop+sc)"] <= mppki["tage"] * 1.02

@@ -1,0 +1,19 @@
+"""E4 — Section 5.1: the Immediate Update Mimicker.
+
+Paper reference (MPPKI): TAGE 609/617/640/625 under [I]/[A]/[B]/[C];
+adding the IUM gives 611/624/614 for [A]/[B]/[C] — most of the
+delayed-update loss is recovered.
+"""
+
+from benchmarks.conftest import BENCH_PIPELINE, report, run_once
+from repro.analysis.experiments import run_ium_recovery
+
+
+def test_bench_ium_recovery(benchmark, bench_suite):
+    table = run_once(benchmark, lambda: run_ium_recovery(bench_suite, config=BENCH_PIPELINE))
+    report(table)
+    plain = table.lookup("tage")
+    with_ium = table.lookup("tage+ium")
+    # The IUM must not degrade scenario [A] and must help scenario [B].
+    assert with_ium[2] <= plain[2] * 1.03
+    assert with_ium[3] <= plain[3] * 1.03

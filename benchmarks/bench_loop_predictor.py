@@ -1,0 +1,15 @@
+"""E5 — Section 5.2: the loop predictor side predictor.
+
+Paper reference: adding the loop predictor to TAGE+IUM reaches 593 MPPKI,
+about a 3 % reduction of the remaining mispredictions.
+"""
+
+from benchmarks.conftest import report, run_once
+from repro.analysis.experiments import run_side_predictor_stack
+
+
+def test_bench_loop_predictor(benchmark, bench_suite):
+    table = run_once(benchmark, lambda: run_side_predictor_stack(bench_suite))
+    report(table)
+    mppki = dict(zip(table.column("predictor"), table.column("mppki")))
+    assert mppki["tage+ium+loop"] <= mppki["tage+ium"] * 1.02

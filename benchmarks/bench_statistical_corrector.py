@@ -1,0 +1,15 @@
+"""E6 — Section 5.3: the (global-history) Statistical Corrector.
+
+Paper reference: adding the SC on top of TAGE+IUM+loop reaches 580 MPPKI,
+about a further 2 % reduction of the remaining mispredictions.
+"""
+
+from benchmarks.conftest import report, run_once
+from repro.analysis.experiments import run_side_predictor_stack
+
+
+def test_bench_statistical_corrector(benchmark, bench_suite):
+    table = run_once(benchmark, lambda: run_side_predictor_stack(bench_suite))
+    report(table)
+    mppki = dict(zip(table.column("predictor"), table.column("mppki")))
+    assert mppki["isl-tage (tage+ium+loop+sc)"] <= mppki["tage+ium+loop"] * 1.02

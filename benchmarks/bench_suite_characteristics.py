@@ -1,0 +1,21 @@
+"""E13 — Section 2.2: benchmark-set characteristics.
+
+Paper reference: the seven designated hard traces (CLIENT02, INT01, INT02,
+MM05, MM07, WS03, WS04) carry roughly three quarters of all mispredictions
+of the 40-trace suite under a 512 Kbit L-TAGE-class reference predictor.
+"""
+
+from benchmarks.conftest import report, run_once
+from repro.analysis.experiments import run_suite_characteristics
+
+
+def test_bench_suite_characteristics(benchmark, bench_suite):
+    table = run_once(benchmark, lambda: run_suite_characteristics(bench_suite))
+    report(table)
+    hard = table.lookup("hard")
+    easy = table.lookup("easy")
+    # The hard traces must dominate the misprediction count per trace.
+    assert hard[4] > easy[4]
+    hard_share_per_trace = hard[3] / max(1, hard[1])
+    easy_share_per_trace = easy[3] / max(1, easy[1])
+    assert hard_share_per_trace > easy_share_per_trace

@@ -1,0 +1,20 @@
+"""E8 — Section 6.1: the TAGE-LSC predictor.
+
+Paper reference: TAGE+IUM+loop+SC+LSC reaches 555 MPPKI and TAGE+IUM+LSC
+alone 559; at a 512 Kbit budget TAGE-LSC achieves 562 MPPKI against 581
+for a similarly structured ISL-TAGE — the LSC subsumes most of what the
+loop predictor and the global SC provide.
+"""
+
+from benchmarks.conftest import report, run_once
+from repro.analysis.experiments import run_side_predictor_stack
+
+
+def test_bench_tage_lsc(benchmark, bench_suite):
+    table = run_once(benchmark, lambda: run_side_predictor_stack(bench_suite))
+    report(table)
+    mppki = dict(zip(table.column("predictor"), table.column("mppki")))
+    # TAGE-LSC must not be worse than plain TAGE, and must land in the same
+    # accuracy class as ISL-TAGE (the paper has it slightly ahead).
+    assert mppki["tage-lsc (tage+ium+lsc)"] <= mppki["tage"] * 1.02
+    assert mppki["tage-lsc (tage+ium+lsc)"] <= mppki["isl-tage (tage+ium+loop+sc)"] * 1.10

@@ -1,0 +1,20 @@
+"""E2 — Section 4.1.2: update scenarios [I]/[A]/[B]/[C].
+
+Paper reference (MPPKI): gshare 944/970/1292/1011, GEHL 664/685/801/744,
+TAGE 609/617/640/625 — TAGE tolerates skipping the retire-time read far
+better than the single-table and neural-style predictors.
+"""
+
+from benchmarks.conftest import BENCH_PIPELINE, report, run_once
+from repro.analysis.experiments import run_update_scenarios
+
+
+def test_bench_update_scenarios(benchmark, bench_suite):
+    table = run_once(
+        benchmark, lambda: run_update_scenarios(bench_suite, config=BENCH_PIPELINE)
+    )
+    report(table)
+    for row in table.rows:
+        name, immediate, reread, fetch_only, on_misprediction = row
+        assert fetch_only >= reread * 0.99      # [B] is never better than [A]
+        assert immediate <= reread * 1.02       # oracle update is the best case

@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index) on a synthetic suite.  Suite size is controlled by
+environment variables so that the same harness scales from a quick smoke
+run to an overnight full-suite run:
+
+* ``REPRO_BENCH_BRANCHES``        — branches per trace (default 3000)
+* ``REPRO_BENCH_TRACES``          — traces per category (default 1)
+* ``REPRO_BENCH_SEED``            — suite seed (default 2011)
+
+For a run closer to the paper's setup use, e.g.::
+
+    REPRO_BENCH_BRANCHES=50000 REPRO_BENCH_TRACES=8 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.pipeline.config import PipelineConfig
+from repro.traces.suite import HARD_TRACES, generate_suite, generate_trace
+
+BENCH_BRANCHES = int(os.environ.get("REPRO_BENCH_BRANCHES", "3000"))
+BENCH_TRACES_PER_CATEGORY = int(os.environ.get("REPRO_BENCH_TRACES", "1"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2011"))
+
+#: Pipeline model used by the delayed-update benches: a 16-branch window
+#: keeps runtimes manageable while exhibiting every delayed-update effect.
+BENCH_PIPELINE = PipelineConfig(retire_delay=16, execute_delay=4)
+
+
+@pytest.fixture(scope="session")
+def bench_suite():
+    """The benchmark suite (one or more traces per category)."""
+    return generate_suite(
+        traces_per_category=BENCH_TRACES_PER_CATEGORY,
+        branches_per_trace=BENCH_BRANCHES,
+        seed=BENCH_SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_mixed_suite():
+    """A smaller suite mixing designated hard traces and easy traces."""
+    hard = sorted(HARD_TRACES)[:3]
+    easy = ["INT03", "MM01", "CLIENT01"]
+    return [
+        generate_trace(name, branches_per_trace=BENCH_BRANCHES, seed=BENCH_SEED)
+        for name in hard + easy
+    ]
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def report(table) -> None:
+    """Print the regenerated table below the benchmark timings."""
+    print()
+    print(table.to_table())

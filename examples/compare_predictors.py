@@ -1,0 +1,72 @@
+"""Compare every predictor family on a slice of the synthetic CBP-like suite.
+
+Reproduces, at small scale, the accuracy ladder the paper builds: gshare
+and GEHL as baselines, TAGE, then TAGE augmented with the side predictors
+(L-TAGE, ISL-TAGE, TAGE-LSC), plus the neural comparators used in Figure
+10.  Prints one row per predictor with its storage and suite MPPKI.
+
+Run with::
+
+    python examples/compare_predictors.py [branches_per_trace]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.reporting import format_table
+from repro.core import ISLTAGEPredictor, LTAGEPredictor, TAGELSCPredictor, TAGEPredictor
+from repro.pipeline import simulate_suite
+from repro.predictors import (
+    BimodalPredictor,
+    FTLPredictor,
+    GEHLPredictor,
+    GSharePredictor,
+    PerceptronPredictor,
+    SNAPPredictor,
+)
+from repro.traces import generate_suite
+
+
+def main() -> None:
+    branches = int(sys.argv[1]) if len(sys.argv) > 1 else 5_000
+    traces = generate_suite(traces_per_category=1, branches_per_trace=branches, seed=2011)
+    print(f"suite: {len(traces)} traces x {branches} branches\n")
+
+    families = [
+        ("bimodal 64K", lambda: BimodalPredictor(entries=32768)),
+        ("gshare 512Kb", lambda: GSharePredictor()),
+        ("perceptron", lambda: PerceptronPredictor()),
+        ("GEHL 520Kb", lambda: GEHLPredictor()),
+        ("piecewise/SNAP-like", lambda: SNAPPredictor()),
+        ("fused FTL-like", lambda: FTLPredictor()),
+        ("TAGE (reference)", lambda: TAGEPredictor()),
+        ("L-TAGE", lambda: LTAGEPredictor()),
+        ("ISL-TAGE", lambda: ISLTAGEPredictor()),
+        ("TAGE-LSC", lambda: TAGELSCPredictor(fit_512kbits=True)),
+    ]
+
+    rows = []
+    for name, factory in families:
+        suite = simulate_suite(factory, traces)
+        predictor = factory()
+        rows.append([
+            name,
+            round(predictor.storage_bits / 1024.0, 1),
+            suite.mppki,
+            suite.mpki,
+            suite.mispredictions,
+        ])
+        print(f"  done: {name}")
+
+    rows.sort(key=lambda row: row[2])
+    print()
+    print(format_table(
+        ["predictor", "storage Kbits", "MPPKI", "MPKI", "mispredictions"],
+        rows,
+        title="predictor comparison (lower MPPKI is better)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that the package can be installed in environments without the
+``wheel`` package or network access (``python setup.py develop`` performs a
+legacy editable install that ``pip install -e .`` cannot complete offline).
+"""
+
+from setuptools import setup
+
+setup()

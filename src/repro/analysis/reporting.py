@@ -1,0 +1,32 @@
+"""Small text-table rendering helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width text table.
+
+    Numeric cells are formatted with a sensible default precision; the
+    result is what the benchmark harness prints so that every run of a
+    bench regenerates the corresponding table of the paper.
+    """
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rendered)) if rendered else len(headers[column])
+        for column in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Predictor-size scaling helpers for the Figure 9 sweep.
+
+Figure 9 scales TAGE and TAGE-LSC from 128 Kbits to 32 Mbits "just by
+scaling the sizes of all the components by a power of two".  These helpers
+produce the scaled configurations/predictors for a given power-of-two
+factor relative to the reference (~512 Kbit-class) predictor.
+"""
+
+from __future__ import annotations
+
+from repro.core.composed import TAGELSCPredictor
+from repro.core.config import TAGEConfig, make_reference_tage_config
+from repro.core.statistical_corrector import StatisticalCorrectorConfig
+from repro.core.tage import TAGEPredictor
+
+__all__ = ["scaled_tage_config", "scaled_tage", "scaled_tage_lsc"]
+
+
+def scaled_tage_config(log2_factor: int) -> TAGEConfig:
+    """Reference TAGE configuration scaled by ``2**log2_factor``."""
+    return make_reference_tage_config().scaled(log2_factor)
+
+
+def scaled_tage(log2_factor: int) -> TAGEPredictor:
+    """A TAGE predictor scaled by ``2**log2_factor`` from the reference."""
+    return TAGEPredictor(scaled_tage_config(log2_factor))
+
+
+def scaled_tage_lsc(log2_factor: int) -> TAGELSCPredictor:
+    """A TAGE-LSC predictor scaled by ``2**log2_factor`` from the reference.
+
+    Both the TAGE component and the local corrector tables are scaled, as
+    Figure 9 does ("scaling the sizes of all the components").
+    """
+    lsc_log2_entries = max(4, 10 + log2_factor)
+    lsc_config = StatisticalCorrectorConfig(
+        history_lengths=(0, 4, 10, 17, 31),
+        log2_entries=lsc_log2_entries,
+        counter_bits=6,
+    )
+    local_history_entries = max(16, 64 * (2 ** max(0, log2_factor)))
+    return TAGELSCPredictor(
+        config=scaled_tage_config(log2_factor),
+        lsc_config=lsc_config,
+        local_history_entries=local_history_entries,
+    )

@@ -1,0 +1,86 @@
+"""Storage-budget accounting.
+
+The paper dimensions every predictor against an explicit bit budget
+(64 Kbits gshare, 512 Kbits TAGE, 64 KBytes for the CBP-3 contest…).  Every
+predictor in this package therefore exposes a ``storage_report()`` built
+from the classes below so that experiments can check they compare
+predictors at equal cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StorageItem", "StorageReport"]
+
+
+@dataclass(frozen=True)
+class StorageItem:
+    """One named contributor to a predictor's storage budget.
+
+    Attributes
+    ----------
+    name:
+        Human-readable component name, e.g. ``"T3 tags"``.
+    entries:
+        Number of table entries (1 for a scalar register).
+    bits_per_entry:
+        Width of each entry in bits.
+    """
+
+    name: str
+    entries: int
+    bits_per_entry: int
+
+    @property
+    def total_bits(self) -> int:
+        """Total bits contributed by this item."""
+        return self.entries * self.bits_per_entry
+
+
+@dataclass
+class StorageReport:
+    """A collection of :class:`StorageItem` describing a whole predictor."""
+
+    predictor: str
+    items: list[StorageItem] = field(default_factory=list)
+
+    def add(self, name: str, entries: int, bits_per_entry: int) -> None:
+        """Append one storage contributor."""
+        self.items.append(StorageItem(name, entries, bits_per_entry))
+
+    def extend(self, other: "StorageReport", prefix: str = "") -> None:
+        """Merge another report into this one, optionally prefixing item names."""
+        for item in other.items:
+            name = f"{prefix}{item.name}" if prefix else item.name
+            self.items.append(StorageItem(name, item.entries, item.bits_per_entry))
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage in bits."""
+        return sum(item.total_bits for item in self.items)
+
+    @property
+    def total_kbits(self) -> float:
+        """Total storage in kilobits (1 Kbit = 1024 bits)."""
+        return self.total_bits / 1024.0
+
+    @property
+    def total_bytes(self) -> float:
+        """Total storage in bytes."""
+        return self.total_bits / 8.0
+
+    def fits_budget(self, budget_bits: int) -> bool:
+        """True when the predictor fits within ``budget_bits``."""
+        return self.total_bits <= budget_bits
+
+    def to_table(self) -> str:
+        """Render the report as a small fixed-width text table."""
+        lines = [f"storage report for {self.predictor}"]
+        lines.append(f"{'component':<32}{'entries':>10}{'bits/entry':>12}{'total bits':>12}")
+        for item in self.items:
+            lines.append(
+                f"{item.name:<32}{item.entries:>10}{item.bits_per_entry:>12}{item.total_bits:>12}"
+            )
+        lines.append(f"{'TOTAL':<32}{'':>10}{'':>12}{self.total_bits:>12}")
+        return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""The paper's primary contribution: TAGE and its side predictors.
+
+This subpackage contains the TAGE predictor itself, the side predictors
+studied in Sections 5 and 6 (Immediate Update Mimicker, loop predictor,
+global and local Statistical Correctors) and the composed predictors
+built from them (L-TAGE, ISL-TAGE, TAGE-LSC).
+"""
+
+from repro.core.augmented import AugmentedPrediction, AugmentedTAGE, RetireReadScope
+from repro.core.composed import ISLTAGEPredictor, LTAGEPredictor, TAGELSCPredictor
+from repro.core.config import TAGEConfig, make_reference_tage_config
+from repro.core.ium import ImmediateUpdateMimicker, IUMEntry
+from repro.core.loop_predictor import (
+    LoopPrediction,
+    LoopPredictor,
+    SpeculativeLoopIterationManager,
+)
+from repro.core.statistical_corrector import (
+    LocalStatisticalCorrector,
+    SCReading,
+    StatisticalCorrector,
+    StatisticalCorrectorConfig,
+)
+from repro.core.tage import TAGEPrediction, TAGEPredictor, make_reference_tage
+
+__all__ = [
+    "AugmentedPrediction",
+    "AugmentedTAGE",
+    "ISLTAGEPredictor",
+    "IUMEntry",
+    "ImmediateUpdateMimicker",
+    "LTAGEPredictor",
+    "LocalStatisticalCorrector",
+    "LoopPrediction",
+    "LoopPredictor",
+    "RetireReadScope",
+    "SCReading",
+    "SpeculativeLoopIterationManager",
+    "StatisticalCorrector",
+    "StatisticalCorrectorConfig",
+    "TAGEConfig",
+    "TAGELSCPredictor",
+    "TAGEPrediction",
+    "TAGEPredictor",
+    "make_reference_tage",
+    "make_reference_tage_config",
+]

@@ -1,0 +1,132 @@
+"""The named composed predictors of the paper.
+
+These classes are thin, explicitly-dimensioned specialisations of
+:class:`repro.core.augmented.AugmentedTAGE`:
+
+* :class:`LTAGEPredictor` — TAGE + loop predictor, the CBP-2 winner used
+  as the suite-characterisation reference in Section 2.2,
+* :class:`ISLTAGEPredictor` — TAGE + IUM + loop predictor + global-history
+  Statistical Corrector, the CBP-3 winner recalled in Section 5,
+* :class:`TAGELSCPredictor` — TAGE + IUM + local-history Statistical
+  Corrector, the paper's proposal (Section 6), optionally sized down to a
+  512 Kbit total budget as in the paper's comparison against ISL-TAGE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.augmented import AugmentedTAGE, RetireReadScope
+from repro.core.config import TAGEConfig, make_reference_tage_config
+from repro.core.loop_predictor import LoopPredictor
+from repro.core.statistical_corrector import (
+    LocalStatisticalCorrector,
+    StatisticalCorrector,
+    StatisticalCorrectorConfig,
+)
+
+__all__ = ["LTAGEPredictor", "ISLTAGEPredictor", "TAGELSCPredictor"]
+
+
+class LTAGEPredictor(AugmentedTAGE):
+    """TAGE plus the loop predictor (no IUM, no Statistical Corrector)."""
+
+    def __init__(self, config: TAGEConfig | None = None) -> None:
+        super().__init__(
+            config=config,
+            use_ium=False,
+            loop_predictor=LoopPredictor(),
+            statistical_corrector=None,
+            local_corrector=None,
+            name="l-tage",
+        )
+
+
+class ISLTAGEPredictor(AugmentedTAGE):
+    """The ISL-TAGE predictor: TAGE + IUM + loop predictor + global SC.
+
+    Parameters
+    ----------
+    config:
+        TAGE dimensioning (defaults to the reference configuration).
+    sc_config:
+        Statistical Corrector dimensioning; defaults to the paper's
+        4-table, 24 Kbit corrector.
+    use_ium, use_loop, use_sc:
+        Individual side predictors can be disabled to reproduce the
+        incremental results of Sections 5.1–5.3 (TAGE+IUM, +loop, +SC).
+    """
+
+    def __init__(
+        self,
+        config: TAGEConfig | None = None,
+        sc_config: StatisticalCorrectorConfig | None = None,
+        use_ium: bool = True,
+        use_loop: bool = True,
+        use_sc: bool = True,
+        retire_read_scope: str = RetireReadScope.ALL,
+    ) -> None:
+        super().__init__(
+            config=config,
+            use_ium=use_ium,
+            loop_predictor=LoopPredictor() if use_loop else None,
+            statistical_corrector=StatisticalCorrector(sc_config) if use_sc else None,
+            local_corrector=None,
+            retire_read_scope=retire_read_scope,
+            name="isl-tage",
+        )
+
+
+class TAGELSCPredictor(AugmentedTAGE):
+    """The TAGE-LSC predictor: TAGE + IUM + local-history Statistical Corrector.
+
+    Parameters
+    ----------
+    config:
+        TAGE dimensioning.  With ``fit_512kbits=True`` (and no explicit
+        ``config``) the reference configuration is shrunk exactly as the
+        paper does — "reducing the size of Table T7 to 2K entries" — so
+        that the TAGE-LSC total matches the 512 Kbit ISL-TAGE budget.
+    lsc_config:
+        Local corrector dimensioning; defaults to the paper's 5-table,
+        ~30 Kbit LSC with local history lengths (0, 4, 10, 17, 31).
+    use_ium:
+        The IUM can be disabled for the delayed-update ablations.
+    use_loop, use_sc:
+        The paper also evaluates TAGE + IUM + loop + SC + LSC (reaching
+        555 MPPKI); enabling these reproduces that stack.
+    """
+
+    def __init__(
+        self,
+        config: TAGEConfig | None = None,
+        lsc_config: StatisticalCorrectorConfig | None = None,
+        local_history_entries: int = 64,
+        use_ium: bool = True,
+        use_loop: bool = False,
+        use_sc: bool = False,
+        fit_512kbits: bool = False,
+        retire_read_scope: str = RetireReadScope.ALL,
+    ) -> None:
+        if config is None:
+            config = make_reference_tage_config()
+            if fit_512kbits:
+                config = _shrink_t7(config)
+        super().__init__(
+            config=config,
+            use_ium=use_ium,
+            loop_predictor=LoopPredictor() if use_loop else None,
+            statistical_corrector=StatisticalCorrector() if use_sc else None,
+            local_corrector=LocalStatisticalCorrector(
+                lsc_config, local_history_entries=local_history_entries
+            ),
+            retire_read_scope=retire_read_scope,
+            name="tage-lsc",
+        )
+
+
+def _shrink_t7(config: TAGEConfig) -> TAGEConfig:
+    """Halve table T7 of the reference configuration (the paper's 512 Kbit fit)."""
+    sizes = list(config.table_log2_entries)
+    sizes[6] = max(1, sizes[6] - 1)
+    return replace(config, table_log2_entries=tuple(sizes))

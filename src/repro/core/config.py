@@ -1,0 +1,236 @@
+"""TAGE predictor configurations.
+
+Section 3.4 of the paper fixes a *reference* TAGE predictor dimensioned for
+the CBP-3 64 KByte storage budget:
+
+* a bimodal base table with 32 K prediction bits and 8 K hysteresis bits
+  (four prediction bits share one hysteresis bit),
+* 12 tagged tables (13 components in total) indexed with the (6, 2000)
+  geometric history-length series,
+* tag widths growing with the table number, capped at 15 bits,
+* table sizes: T1 2 K entries, T2–T7 4 K, T8–T9 2 K, T10–T12 1 K.
+
+Section 6.2 and Figure 9 then vary the number of tables, the history
+series and the overall size (by scaling every table by a power of two);
+:class:`TAGEConfig` supports all of those variations and reports the
+storage of any configuration so experiments can respect a bit budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.histories.geometric import geometric_series
+
+__all__ = ["TAGEConfig", "make_reference_tage_config"]
+
+
+@dataclass(frozen=True)
+class TAGEConfig:
+    """Complete dimensioning of a TAGE predictor.
+
+    Attributes
+    ----------
+    table_log2_entries:
+        Log2 of the number of entries of each tagged table T1..TM.
+    tag_widths:
+        Partial-tag width of each tagged table.
+    history_lengths:
+        Global-history length observed by each tagged table.
+    bimodal_log2_entries:
+        Log2 of the number of prediction bits of the base bimodal table.
+    bimodal_hysteresis_sharing:
+        How many bimodal prediction bits share one hysteresis bit.
+    counter_bits:
+        Width of the tagged-table prediction counters (3 in the paper).
+    useful_bits:
+        Width of the "useful" field (1 in the paper; 2 reproduces the
+        earlier 2006 policy and is used by the u-bit ablation).
+    max_allocations:
+        Maximum number of tagged entries allocated on one misprediction
+        (Section 3.2.1 finds 3–4 beneficial for large predictors).
+    use_alt_on_na_bits:
+        Width of the USE_ALT_ON_NA counter (4 in the paper).
+    allocation_tick_bits:
+        Width of the allocation success/failure monitoring counter whose
+        saturation triggers the global u-bit reset (8 in the paper).
+    path_history_bits:
+        Number of path-history bits mixed into the tagged indices.
+    """
+
+    table_log2_entries: tuple[int, ...]
+    tag_widths: tuple[int, ...]
+    history_lengths: tuple[int, ...]
+    bimodal_log2_entries: int = 15
+    bimodal_hysteresis_sharing: int = 4
+    counter_bits: int = 3
+    useful_bits: int = 1
+    max_allocations: int = 3
+    use_alt_on_na_bits: int = 4
+    allocation_tick_bits: int = 8
+    path_history_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.table_log2_entries:
+            raise ValueError("a TAGE predictor needs at least one tagged table")
+        if not (
+            len(self.table_log2_entries) == len(self.tag_widths) == len(self.history_lengths)
+        ):
+            raise ValueError(
+                "table_log2_entries, tag_widths and history_lengths must have the same length"
+            )
+        if any(l < 1 or l > 24 for l in self.table_log2_entries):
+            raise ValueError("tagged-table log2 entries out of range")
+        if any(w < 4 or w > 24 for w in self.tag_widths):
+            raise ValueError("tag widths out of range")
+        if any(b <= a for a, b in zip(self.history_lengths, self.history_lengths[1:])):
+            raise ValueError("history lengths must be strictly increasing")
+        if self.counter_bits < 2:
+            raise ValueError("counter_bits must be at least 2")
+        if self.useful_bits < 1:
+            raise ValueError("useful_bits must be at least 1")
+        if self.max_allocations < 1:
+            raise ValueError("max_allocations must be at least 1")
+        if self.bimodal_log2_entries < 4:
+            raise ValueError("bimodal_log2_entries must be at least 4")
+        if self.bimodal_hysteresis_sharing < 1:
+            raise ValueError("bimodal_hysteresis_sharing must be at least 1")
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def num_tagged_tables(self) -> int:
+        """Number of tagged components (M)."""
+        return len(self.table_log2_entries)
+
+    @property
+    def num_components(self) -> int:
+        """Number of components including the bimodal base."""
+        return self.num_tagged_tables + 1
+
+    @property
+    def max_history(self) -> int:
+        """Longest global-history length observed."""
+        return self.history_lengths[-1]
+
+    def entry_bits(self, table: int) -> int:
+        """Storage bits of one entry of tagged table ``table`` (0-based)."""
+        return self.counter_bits + self.useful_bits + self.tag_widths[table]
+
+    @property
+    def storage_bits(self) -> int:
+        """Total predictor storage in bits (tables plus scalar registers)."""
+        tagged = sum(
+            (1 << self.table_log2_entries[t]) * self.entry_bits(t)
+            for t in range(self.num_tagged_tables)
+        )
+        bimodal = (1 << self.bimodal_log2_entries) + (
+            (1 << self.bimodal_log2_entries) // self.bimodal_hysteresis_sharing
+        )
+        scalars = self.use_alt_on_na_bits + self.allocation_tick_bits + self.path_history_bits
+        return tagged + bimodal + scalars
+
+    @property
+    def storage_kbits(self) -> float:
+        """Total predictor storage in kilobits."""
+        return self.storage_bits / 1024.0
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        num_tagged_tables: int = 12,
+        min_history: int = 6,
+        max_history: int = 2000,
+        base_log2_entries: int = 12,
+        bimodal_log2_entries: int = 15,
+        min_tag_width: int = 7,
+        max_tag_width: int = 15,
+        **overrides,
+    ) -> "TAGEConfig":
+        """Build a configuration from high-level knobs.
+
+        Table sizes follow the reference shape — the mid-history tables are
+        the largest, the longest-history tables are four times smaller —
+        and tag widths grow by one bit per table up to ``max_tag_width``,
+        following Section 3.3's "wider tags for long histories" guidance.
+        """
+        if num_tagged_tables < 2:
+            raise ValueError("num_tagged_tables must be at least 2")
+        lengths = tuple(geometric_series(min_history, max_history, num_tagged_tables))
+        sizes = []
+        for table in range(num_tagged_tables):
+            fraction = table / max(1, num_tagged_tables - 1)
+            if fraction < 0.1:
+                sizes.append(base_log2_entries - 1)  # shortest history: half size
+            elif fraction < 0.6:
+                sizes.append(base_log2_entries)  # bulk of the storage
+            elif fraction < 0.8:
+                sizes.append(base_log2_entries - 1)
+            else:
+                sizes.append(base_log2_entries - 2)  # longest histories: quarter size
+        tags = tuple(
+            min(max_tag_width, min_tag_width + table) for table in range(num_tagged_tables)
+        )
+        return cls(
+            table_log2_entries=tuple(max(1, size) for size in sizes),
+            tag_widths=tags,
+            history_lengths=lengths,
+            bimodal_log2_entries=bimodal_log2_entries,
+            **overrides,
+        )
+
+    def scaled(self, log2_factor: int) -> "TAGEConfig":
+        """Return a copy with every table scaled by ``2**log2_factor``.
+
+        This is how Figure 9 scales the predictors from 128 Kbits to
+        32 Mbits: "just by scaling the sizes of all the components by a
+        power of two, no attempt to optimize other parameters was done".
+        """
+        new_tables = tuple(max(1, size + log2_factor) for size in self.table_log2_entries)
+        new_bimodal = max(4, self.bimodal_log2_entries + log2_factor)
+        return replace(
+            self, table_log2_entries=new_tables, bimodal_log2_entries=new_bimodal
+        )
+
+    def with_history_series(self, min_history: int, max_history: int) -> "TAGEConfig":
+        """Return a copy using a different geometric history-length series."""
+        lengths = tuple(geometric_series(min_history, max_history, self.num_tagged_tables))
+        return replace(self, history_lengths=lengths)
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of the configuration."""
+        lines = [
+            f"TAGE configuration: {self.num_components} components, "
+            f"{self.storage_kbits:.0f} Kbits",
+            f"  bimodal: 2^{self.bimodal_log2_entries} prediction bits, "
+            f"1/{self.bimodal_hysteresis_sharing} hysteresis",
+        ]
+        for table in range(self.num_tagged_tables):
+            lines.append(
+                f"  T{table + 1}: 2^{self.table_log2_entries[table]} entries, "
+                f"tag {self.tag_widths[table]} bits, "
+                f"history {self.history_lengths[table]}"
+            )
+        return "\n".join(lines)
+
+
+def make_reference_tage_config() -> TAGEConfig:
+    """The paper's reference 64 KByte-class TAGE configuration (Section 3.4).
+
+    13 components, (6, 2000) geometric history series, 12-bit-class tags
+    (``min(6 + i, 15)`` for table ``Ti``), T1 2 K entries, T2–T7 4 K
+    entries, T8–T9 2 K entries and T10–T12 1 K entries, over a 32 K-entry
+    bimodal base with 4-way shared hysteresis.
+    """
+    table_log2_entries = (11, 12, 12, 12, 12, 12, 12, 11, 11, 10, 10, 10)
+    tag_widths = tuple(min(6 + i, 15) for i in range(1, 13))
+    history_lengths = tuple(geometric_series(6, 2000, 12))
+    return TAGEConfig(
+        table_log2_entries=table_log2_entries,
+        tag_widths=tag_widths,
+        history_lengths=history_lengths,
+        bimodal_log2_entries=15,
+        bimodal_hysteresis_sharing=4,
+    )

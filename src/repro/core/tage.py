@@ -1,0 +1,394 @@
+"""The TAGE conditional branch predictor (Seznec & Michaud, 2006).
+
+TAGE — TAgged GEometric history length — is the paper's main predictor
+(Section 3).  A bimodal base table provides a default prediction; M
+partially-tagged tables, indexed with geometrically increasing global
+history lengths, provide the prediction of the *provider* component (the
+hitting table with the longest history).  A handful of mechanisms around
+this core account for most of its accuracy:
+
+* the *alternate prediction* and the ``USE_ALT_ON_NA`` counter, which fall
+  back to the next matching component when the provider entry is still
+  weak (Section 3.1),
+* allocation of up to ``max_allocations`` new entries on non-consecutive
+  tables after a misprediction (Section 3.2.1),
+* a single *useful* bit per entry protecting it from replacement, with a
+  global reset driven by an 8-bit allocation success/failure monitor
+  (Section 3.2.2).
+
+The implementation exposes everything the rest of the paper needs: the
+fetch-time prediction snapshot (for delayed-update scenarios [B]/[C]), the
+provider entry identity (for the Immediate Update Mimicker) and the
+provider counter value (for the Statistical Corrector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.bits import fold_bits, mask
+from repro.common.counters import SaturatingCounter, clamp
+from repro.common.storage import StorageReport
+from repro.core.config import TAGEConfig, make_reference_tage_config
+from repro.histories.folded import FoldedHistorySet
+from repro.histories.global_history import GlobalHistoryRegister, PathHistory
+from repro.predictors.base import PredictionInfo, Predictor, UpdateStats
+from repro.predictors.bimodal import BimodalPrediction, BimodalPredictor
+
+__all__ = ["TAGEPrediction", "TAGEPredictor", "make_reference_tage"]
+
+
+@dataclass
+class TAGEPrediction(PredictionInfo):
+    """Snapshot of one TAGE prediction.
+
+    Besides the final direction, the snapshot records everything the
+    retire-time update and the side predictors need:
+
+    * the provider component and entry (``provider_table`` is 0 when the
+      bimodal base provides, 1..M for tagged tables),
+    * the alternate prediction,
+    * the per-table indices, tags and useful bits computed at fetch time,
+      so scenarios [B]/[C] can update and allocate without re-reading,
+    * the base (bimodal) read.
+    """
+
+    tage_taken: bool = False
+    provider_table: int = 0
+    provider_index: int = 0
+    provider_ctr: int = 0
+    provider_taken: bool = False
+    weak_provider: bool = False
+    alt_table: int = 0
+    alt_index: int = 0
+    alt_taken: bool = False
+    base_index: int = 0
+    base_hysteresis_index: int = 0
+    base_counter: int = 0
+    indices: tuple[int, ...] = ()
+    tags: tuple[int, ...] = ()
+    useful_snapshot: tuple[int, ...] = ()
+
+    def provider_entry(self) -> tuple[int, int]:
+        """Identity of the entry that provided the prediction.
+
+        Returns ``(table, index)`` where ``table`` is 0 for the bimodal
+        base and 1..M for tagged tables.  This is the key the Immediate
+        Update Mimicker associates with in-flight branches.
+        """
+        if self.provider_table > 0:
+            return self.provider_table, self.provider_index
+        return 0, self.base_index
+
+    def provider_centered(self) -> int:
+        """Centered counter value of the hitting component, ``2*ctr + 1``.
+
+        The Statistical Corrector (Section 5.3) weighs the TAGE prediction
+        by this value; for a bimodal provider the 2-bit counter is centered
+        around its midpoint.
+        """
+        if self.provider_table > 0:
+            return 2 * self.provider_ctr + 1
+        return 2 * (self.base_counter - 2) + 1
+
+
+class TAGEPredictor(Predictor):
+    """The TAGE predictor proper.
+
+    Parameters
+    ----------
+    config:
+        Predictor dimensioning; defaults to the paper's reference 64 KB
+        configuration (:func:`repro.core.config.make_reference_tage_config`).
+    """
+
+    def __init__(self, config: TAGEConfig | None = None) -> None:
+        self.config = config or make_reference_tage_config()
+        cfg = self.config
+        self.name = f"tage-{cfg.num_components}comp-{cfg.storage_kbits:.0f}Kbits"
+        self.num_tables = cfg.num_tagged_tables
+
+        self.base = BimodalPredictor(
+            entries=1 << cfg.bimodal_log2_entries,
+            hysteresis_sharing=cfg.bimodal_hysteresis_sharing,
+        )
+        self._ctr_lo = -(1 << (cfg.counter_bits - 1))
+        self._ctr_hi = (1 << (cfg.counter_bits - 1)) - 1
+        self._u_max = (1 << cfg.useful_bits) - 1
+        self._ctr: list[np.ndarray] = []
+        self._tags: list[np.ndarray] = []
+        self._useful: list[np.ndarray] = []
+        for table in range(self.num_tables):
+            entries = 1 << cfg.table_log2_entries[table]
+            self._ctr.append(np.zeros(entries, dtype=np.int8))
+            self._tags.append(np.zeros(entries, dtype=np.int32))
+            self._useful.append(np.zeros(entries, dtype=np.int8))
+
+        self.history = GlobalHistoryRegister(capacity=max(64, cfg.max_history + 8))
+        self.path_history = PathHistory(width=cfg.path_history_bits)
+        self._folds = [
+            FoldedHistorySet(
+                history_length=cfg.history_lengths[table],
+                index_width=cfg.table_log2_entries[table],
+                tag_width=cfg.tag_widths[table],
+            )
+            for table in range(self.num_tables)
+        ]
+
+        #: Optional bank selector modelling the 4-way interleaved
+        #: single-ported organisation of Section 4.3.  When set, the low
+        #: index bits of every tagged table are replaced by the bank chosen
+        #: by the selection rule, so a branch can map to up to four
+        #: distinct entries depending on its neighbours — the source of the
+        #: small accuracy loss the paper measures.
+        self.bank_selector = None
+
+        #: USE_ALT_ON_NA — positive means "trust the alternate prediction
+        #: when the provider entry is weak" (Section 3.1).
+        self.use_alt_on_na = SaturatingCounter(bits=cfg.use_alt_on_na_bits, signed=True, value=0)
+        #: Allocation success/failure monitor; saturation triggers the
+        #: global reset of every useful bit (Section 3.2.2).
+        self.allocation_tick = SaturatingCounter(
+            bits=cfg.allocation_tick_bits, signed=False, value=0
+        )
+        self.useful_resets = 0
+
+    # -- index and tag computation -------------------------------------------
+
+    def _path_mix(self, table: int, width: int) -> int:
+        """Fold the path history into ``width`` bits, varied per table."""
+        length = min(self.config.history_lengths[table], self.config.path_history_bits)
+        path_bits = self.path_history.value & mask(length)
+        folded = fold_bits(path_bits, length, width)
+        rotation = table % width
+        if rotation:
+            folded = ((folded << rotation) | (folded >> (width - rotation))) & mask(width)
+        return folded
+
+    def table_index(self, pc: int, table: int) -> int:
+        """Index of ``pc`` in tagged table ``table`` (0-based) right now."""
+        width = self.config.table_log2_entries[table]
+        fold = self._folds[table].index_fold.value
+        pc_hash = (pc >> 2) ^ (pc >> (2 + width)) ^ (pc >> (2 + 2 * width))
+        index = (pc_hash ^ fold ^ self._path_mix(table, width)) & mask(width)
+        if self.bank_selector is not None and width >= 2:
+            bank = self.bank_selector.select(pc)
+            index = (index & ~(self.bank_selector.num_banks - 1)) | bank
+        return index
+
+    def table_tag(self, pc: int, table: int) -> int:
+        """Partial tag of ``pc`` for tagged table ``table`` (0-based) right now."""
+        width = self.config.tag_widths[table]
+        folds = self._folds[table]
+        return ((pc >> 2) ^ folds.tag_fold_1.value ^ (folds.tag_fold_2.value << 1)) & mask(width)
+
+    # -- Predictor interface -------------------------------------------------
+
+    def predict(self, pc: int) -> TAGEPrediction:
+        cfg = self.config
+        base_info = self.base.predict(pc)
+
+        indices = tuple(self.table_index(pc, table) for table in range(self.num_tables))
+        tags = tuple(self.table_tag(pc, table) for table in range(self.num_tables))
+        useful = tuple(int(self._useful[table][indices[table]]) for table in range(self.num_tables))
+
+        hits = [
+            table
+            for table in range(self.num_tables)
+            if int(self._tags[table][indices[table]]) == tags[table]
+        ]
+
+        provider_table = 0
+        provider_index = 0
+        provider_ctr = 0
+        provider_taken = base_info.taken
+        weak_provider = False
+        alt_table = 0
+        alt_index = 0
+        alt_taken = base_info.taken
+
+        if hits:
+            provider = hits[-1]
+            provider_table = provider + 1
+            provider_index = indices[provider]
+            provider_ctr = int(self._ctr[provider][provider_index])
+            provider_taken = provider_ctr >= 0
+            weak_provider = provider_ctr in (-1, 0)
+            if len(hits) > 1:
+                alternate = hits[-2]
+                alt_table = alternate + 1
+                alt_index = indices[alternate]
+                alt_taken = int(self._ctr[alternate][alt_index]) >= 0
+
+        if provider_table > 0:
+            if weak_provider and self.use_alt_on_na.value >= 0:
+                taken = alt_taken
+            else:
+                taken = provider_taken
+        else:
+            taken = base_info.taken
+
+        return TAGEPrediction(
+            taken=taken,
+            tage_taken=taken,
+            provider_table=provider_table,
+            provider_index=provider_index,
+            provider_ctr=provider_ctr,
+            provider_taken=provider_taken,
+            weak_provider=weak_provider,
+            alt_table=alt_table,
+            alt_index=alt_index,
+            alt_taken=alt_taken,
+            base_index=base_info.index,
+            base_hysteresis_index=base_info.hysteresis_index,
+            base_counter=base_info.counter,
+            indices=indices,
+            tags=tags,
+            useful_snapshot=useful,
+        )
+
+    def update_history(self, pc: int, taken: bool, info: PredictionInfo) -> None:
+        new_bit = 1 if taken else 0
+        for table in range(self.num_tables):
+            length = self.config.history_lengths[table]
+            dropped = self.history.bit(length - 1) if length - 1 < len(self.history) else 0
+            self._folds[table].update(new_bit, dropped)
+        self.history.push(taken)
+        self.path_history.push(pc)
+        if self.bank_selector is not None:
+            # The predicted branch becomes one of the "two previous
+            # predictions" the bank-selection rule must avoid.
+            self.bank_selector.advance(pc)
+
+    def update(
+        self, pc: int, taken: bool, info: PredictionInfo, reread: bool = True
+    ) -> UpdateStats:
+        if not isinstance(info, TAGEPrediction):
+            raise TypeError("TAGE update needs the TAGEPrediction returned by predict()")
+        stats = UpdateStats()
+        mispredicted = info.tage_taken != taken
+        provider = info.provider_table  # 0 = bimodal base
+
+        # USE_ALT_ON_NA bookkeeping: learn whether the alternate prediction
+        # beats a weak ("newly allocated") provider entry.
+        if provider > 0 and info.weak_provider and info.provider_taken != info.alt_taken:
+            self.use_alt_on_na.update(info.alt_taken == taken)
+
+        if provider > 0:
+            self._update_provider(info, taken, reread, stats)
+        else:
+            base_snapshot = BimodalPrediction(
+                taken=info.base_counter >= 2,
+                index=info.base_index,
+                hysteresis_index=info.base_hysteresis_index,
+                counter=info.base_counter,
+            )
+            stats.merge(self.base.update(pc, taken, base_snapshot, reread=reread))
+
+        if mispredicted and provider < self.num_tables:
+            self._allocate(info, taken, reread, stats)
+        return stats
+
+    # -- update helpers -------------------------------------------------------
+
+    def _update_provider(
+        self, info: TAGEPrediction, taken: bool, reread: bool, stats: UpdateStats
+    ) -> None:
+        """Update the provider entry's prediction counter and useful bit."""
+        table = info.provider_table - 1
+        index = info.provider_index
+        if reread:
+            ctr = int(self._ctr[table][index])
+            stats.entry_reads += 1
+        else:
+            ctr = info.provider_ctr
+        new_ctr = clamp(ctr + (1 if taken else -1), self._ctr_lo, self._ctr_hi)
+        if new_ctr != int(self._ctr[table][index]):
+            self._ctr[table][index] = new_ctr
+            stats.entry_writes += 1
+            stats.tables_written += 1
+
+        # The useful bit is set when the provider was correct while the
+        # alternate prediction was wrong (Section 3.2.2).
+        if info.provider_taken != info.alt_taken and info.provider_taken == taken:
+            if int(self._useful[table][index]) != self._u_max:
+                self._useful[table][index] = self._u_max
+                stats.entry_writes += 1
+
+    def _allocate(
+        self, info: TAGEPrediction, taken: bool, reread: bool, stats: UpdateStats
+    ) -> None:
+        """Allocate up to ``max_allocations`` entries on non-consecutive tables."""
+        cfg = self.config
+        allocated = 0
+        table = info.provider_table  # first candidate table (0-based == provider 1-based)
+        while table < self.num_tables and allocated < cfg.max_allocations:
+            index = info.indices[table]
+            if reread:
+                useful = int(self._useful[table][index])
+                stats.entry_reads += 1
+            else:
+                useful = info.useful_snapshot[table]
+            if useful == 0:
+                self._tags[table][index] = info.tags[table]
+                self._ctr[table][index] = 0 if taken else -1
+                self._useful[table][index] = 0
+                stats.entry_writes += 1
+                stats.tables_written += 1
+                stats.allocations += 1
+                allocated += 1
+                self.allocation_tick.decrement()
+                table += 2  # non-consecutive tables (Section 3.2.1)
+            else:
+                self.allocation_tick.increment()
+                table += 1
+
+        if self.allocation_tick.value == self.allocation_tick.hi:
+            self._reset_useful_bits()
+            self.allocation_tick.set(0)
+
+    def _reset_useful_bits(self) -> None:
+        """Global reset of every useful bit (allocation-failure saturation)."""
+        for useful in self._useful:
+            useful.fill(0)
+        self.useful_resets += 1
+
+    # -- reporting ------------------------------------------------------------
+
+    def storage_report(self) -> StorageReport:
+        cfg = self.config
+        report = StorageReport(self.name)
+        report.extend(self.base.storage_report(), prefix="bimodal ")
+        for table in range(self.num_tables):
+            entries = 1 << cfg.table_log2_entries[table]
+            report.add(
+                f"T{table + 1} entries (L={cfg.history_lengths[table]})",
+                entries,
+                cfg.entry_bits(table),
+            )
+        report.add("USE_ALT_ON_NA", 1, cfg.use_alt_on_na_bits)
+        report.add("allocation tick counter", 1, cfg.allocation_tick_bits)
+        report.add("path history", 1, cfg.path_history_bits)
+        return report
+
+    def reset(self) -> None:
+        """Restore the power-on state."""
+        self.base.reset()
+        for table in range(self.num_tables):
+            self._ctr[table].fill(0)
+            self._tags[table].fill(0)
+            self._useful[table].fill(0)
+        self.history.clear()
+        self.path_history.clear()
+        for fold in self._folds:
+            fold.clear()
+        self.use_alt_on_na.set(0)
+        self.allocation_tick.set(0)
+        self.useful_resets = 0
+
+
+def make_reference_tage() -> TAGEPredictor:
+    """Build the paper's reference ~512 Kbit / 64 KByte-class TAGE predictor."""
+    return TAGEPredictor(make_reference_tage_config())

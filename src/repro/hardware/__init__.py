@@ -1,0 +1,30 @@
+"""Hardware cost models: accesses, bank interleaving, area and energy.
+
+Section 4 and Section 7 of the paper are about implementation cost rather
+than accuracy.  This subpackage provides the three models those sections
+rely on:
+
+* :mod:`repro.hardware.access_counter` — per-branch predictor-access
+  accounting (fetch reads, retire reads, effective writes after
+  silent-update elimination),
+* :mod:`repro.hardware.banking` — the 4-way bank-interleaving scheme of
+  Section 4.3: the bank-selection rule that avoids the banks used by the
+  two previous predictions, and a port-conflict model for single-ported
+  banks,
+* :mod:`repro.hardware.cacti` — an analytical SRAM area/energy model
+  calibrated to the CACTI 6.5 ratios the paper quotes (3-port arrays are
+  3–4x larger and ~25–30 % more energy-hungry per access than
+  single-ported arrays of the same capacity).
+"""
+
+from repro.hardware.access_counter import AccessProfile
+from repro.hardware.banking import BankConflictModel, BankSelector
+from repro.hardware.cacti import MemoryArrayModel, PredictorCostModel
+
+__all__ = [
+    "AccessProfile",
+    "BankConflictModel",
+    "BankSelector",
+    "MemoryArrayModel",
+    "PredictorCostModel",
+]

@@ -1,0 +1,34 @@
+"""Pipeline model: delayed predictor update and the paper's scenarios.
+
+On real hardware the predictor tables are updated when a branch retires,
+many cycles after the prediction was made.  This subpackage provides:
+
+* :class:`~repro.pipeline.scenarios.UpdateScenario` — the four update
+  policies compared in Section 4.1.2 ([I] oracle immediate update, [A]
+  re-read at retire, [B] fetch-time read only, [C] re-read only on
+  mispredictions),
+* :class:`~repro.pipeline.config.PipelineConfig` — the in-flight window
+  model (how many branches separate fetch, execute and retire) and the
+  misprediction penalty used by the MPPKI metric,
+* :func:`~repro.pipeline.simulator.simulate` /
+  :func:`~repro.pipeline.simulator.simulate_delayed` — the trace-driven
+  simulation loops,
+* :class:`~repro.pipeline.metrics.SimulationResult` and
+  :class:`~repro.pipeline.metrics.SuiteResult` — accuracy and access
+  metrics, including MPKI and the CBP-3 MPPKI.
+"""
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.metrics import SimulationResult, SuiteResult
+from repro.pipeline.scenarios import UpdateScenario
+from repro.pipeline.simulator import simulate, simulate_delayed, simulate_suite
+
+__all__ = [
+    "PipelineConfig",
+    "SimulationResult",
+    "SuiteResult",
+    "UpdateScenario",
+    "simulate",
+    "simulate_delayed",
+    "simulate_suite",
+]

@@ -1,0 +1,158 @@
+"""Accuracy and access metrics.
+
+The paper reports accuracy as **MPPKI** — Misprediction Penalty per Kilo
+Instructions, the CBP-3 metric — and notes that for the predictors it
+studies MPPKI is "globally proportional to the misprediction number".
+:class:`SimulationResult` therefore carries both the raw misprediction
+counts (and the derived MPKI) and the penalty-weighted MPPKI, plus the
+predictor-access profile used by the hardware-cost experiments.
+:class:`SuiteResult` aggregates per-trace results the way the paper does
+(per-kilo-instruction rates over the whole suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.access_counter import AccessProfile
+
+__all__ = ["SimulationResult", "SuiteResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one predictor over one trace.
+
+    Attributes
+    ----------
+    trace_name, predictor_name:
+        Identification of the run.
+    branches, instructions:
+        Dynamic conditional branches and total micro-ops of the trace.
+    mispredictions:
+        Number of mispredicted branches.
+    misprediction_penalty:
+        Penalty (cycles) charged per misprediction by the MPPKI metric.
+    accesses:
+        Predictor-table access profile accumulated during the run.
+    scenario:
+        The update scenario label (e.g. ``"[C]"``), empty for immediate
+        update.
+    ium_overrides:
+        Number of predictions overridden by the Immediate Update Mimicker,
+        when the predictor has one.
+    """
+
+    trace_name: str
+    predictor_name: str
+    branches: int
+    instructions: int
+    mispredictions: int
+    misprediction_penalty: int = 20
+    accesses: AccessProfile = field(default_factory=AccessProfile)
+    scenario: str = ""
+    ium_overrides: int = 0
+
+    @property
+    def correct_predictions(self) -> int:
+        """Number of correctly predicted branches."""
+        return self.branches - self.mispredictions
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of branches predicted correctly."""
+        return self.correct_predictions / self.branches if self.branches else 0.0
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per kilo instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.mispredictions / self.instructions
+
+    @property
+    def mppki(self) -> float:
+        """Misprediction penalty per kilo instruction (the CBP-3 metric)."""
+        return self.mpki * self.misprediction_penalty
+
+    def summary(self) -> str:
+        """One-line human-readable description of the run."""
+        scenario = f" {self.scenario}" if self.scenario else ""
+        return (
+            f"{self.predictor_name}{scenario} on {self.trace_name}: "
+            f"{self.mispredictions}/{self.branches} mispredictions, "
+            f"MPKI {self.mpki:.2f}, MPPKI {self.mppki:.1f}"
+        )
+
+
+@dataclass
+class SuiteResult:
+    """Aggregate of per-trace results for one predictor configuration."""
+
+    predictor_name: str
+    results: list[SimulationResult] = field(default_factory=list)
+
+    def add(self, result: SimulationResult) -> None:
+        """Append one trace's result."""
+        self.results.append(result)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def branches(self) -> int:
+        """Total dynamic branches across the suite."""
+        return sum(result.branches for result in self.results)
+
+    @property
+    def instructions(self) -> int:
+        """Total micro-ops across the suite."""
+        return sum(result.instructions for result in self.results)
+
+    @property
+    def mispredictions(self) -> int:
+        """Total mispredictions across the suite."""
+        return sum(result.mispredictions for result in self.results)
+
+    @property
+    def mpki(self) -> float:
+        """Suite-level mispredictions per kilo instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.mispredictions / self.instructions
+
+    @property
+    def mppki(self) -> float:
+        """Suite-level misprediction penalty per kilo instruction."""
+        if not self.results:
+            return 0.0
+        penalty = self.results[0].misprediction_penalty
+        return self.mpki * penalty
+
+    @property
+    def access_profile(self) -> AccessProfile:
+        """Merged access profile over the suite."""
+        merged = AccessProfile()
+        for result in self.results:
+            merged.merge(result.accesses)
+        return merged
+
+    def subset(self, trace_names: set[str] | frozenset[str]) -> "SuiteResult":
+        """Aggregate restricted to the given traces (e.g. the 7 hard traces)."""
+        picked = SuiteResult(self.predictor_name)
+        for result in self.results:
+            if result.trace_name in trace_names:
+                picked.add(result)
+        return picked
+
+    def per_trace(self) -> dict[str, float]:
+        """Mapping from trace name to MPPKI."""
+        return {result.trace_name: result.mppki for result in self.results}
+
+    def summary(self) -> str:
+        """One-line human-readable description of the suite run."""
+        return (
+            f"{self.predictor_name}: {len(self.results)} traces, "
+            f"MPKI {self.mpki:.2f}, MPPKI {self.mppki:.1f}, "
+            f"{self.mispredictions} mispredictions"
+        )

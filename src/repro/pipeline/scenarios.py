@@ -1,0 +1,54 @@
+"""The predictor-update scenarios of Section 4.1.2.
+
+A branch on the correct path potentially touches the predictor tables
+three times: a read at prediction time, a read at retire time and a write
+at retire time.  The paper compares four policies:
+
+* **[I] IMMEDIATE** — oracle update at fetch time; the accuracy upper
+  bound, not implementable (the outcome is not known at fetch).
+* **[A] REREAD_AT_RETIRE** — the conventional policy: re-read the tables
+  at retire and recompute the update from fresh values.  Three accesses
+  per branch.
+* **[B] FETCH_READ_ONLY** — never read at retire; the update is computed
+  from the values read at prediction time and carried down the pipeline.
+  At most one read and one write per branch, but in-flight occurrences of
+  the same entry clobber each other's updates.
+* **[C] REREAD_ON_MISPREDICTION** — re-read at retire only for
+  mispredicted branches; correct predictions update from the fetch-time
+  snapshot.  This is the policy the paper recommends for TAGE.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["UpdateScenario"]
+
+
+class UpdateScenario(str, Enum):
+    """Update policy applied by the delayed-update simulator."""
+
+    IMMEDIATE = "I"
+    REREAD_AT_RETIRE = "A"
+    FETCH_READ_ONLY = "B"
+    REREAD_ON_MISPREDICTION = "C"
+
+    @property
+    def label(self) -> str:
+        """The paper's bracketed label, e.g. ``"[C]"``."""
+        return f"[{self.value}]"
+
+    def reread_at_retire(self, mispredicted: bool) -> bool:
+        """Whether the retiring branch re-reads the predictor tables.
+
+        Scenario [I] never reaches the retire stage (the update already
+        happened at fetch), so the question does not arise; the simulator
+        never calls this for it.
+        """
+        if self is UpdateScenario.REREAD_AT_RETIRE:
+            return True
+        if self is UpdateScenario.FETCH_READ_ONLY:
+            return False
+        if self is UpdateScenario.REREAD_ON_MISPREDICTION:
+            return mispredicted
+        raise ValueError(f"scenario {self} does not perform retire-time updates")

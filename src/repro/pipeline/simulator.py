@@ -1,0 +1,187 @@
+"""Trace-driven simulation loops.
+
+Two simulation modes are provided:
+
+* :func:`simulate` — oracle immediate update (the paper's scenario [I]):
+  every branch is predicted, then its tables are updated right away.  This
+  is the mode used for pure-accuracy comparisons (Figures 9 and 10 and the
+  Section 5/6 accuracy numbers, which the paper runs under scenario [A]
+  whose gap to [I] is small).
+* :func:`simulate_delayed` — the in-flight-window model: a branch's tables
+  are only updated after ``retire_delay`` younger branches have been
+  fetched, its outcome becomes visible to the IUM after ``execute_delay``
+  younger branches, and the retire-time read policy follows the selected
+  :class:`~repro.pipeline.scenarios.UpdateScenario`.
+
+Both loops drive the :class:`~repro.predictors.base.Predictor` interface
+(predict → update_history → [notify_execute] → update) and accumulate the
+accuracy and access metrics the experiments report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.hardware.access_counter import AccessProfile
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.metrics import SimulationResult, SuiteResult
+from repro.pipeline.scenarios import UpdateScenario
+from repro.predictors.base import PredictionInfo, Predictor
+from repro.traces.trace import BranchRecord, Trace
+
+__all__ = ["simulate", "simulate_delayed", "simulate_suite"]
+
+
+def _ium_overrides(predictor: Predictor) -> int:
+    """Number of IUM overrides performed so far, when the predictor has an IUM."""
+    ium = getattr(predictor, "ium", None)
+    return getattr(ium, "overrides", 0) if ium is not None else 0
+
+
+def simulate(
+    predictor: Predictor,
+    trace: Trace,
+    config: PipelineConfig | None = None,
+) -> SimulationResult:
+    """Simulate ``predictor`` over ``trace`` with oracle immediate update.
+
+    Every branch is predicted, the speculative histories are advanced, and
+    the tables are updated immediately (scenario [I]).  Returns the
+    accuracy and access metrics of the run.
+    """
+    config = config or PipelineConfig()
+    accesses = AccessProfile()
+    mispredictions = 0
+    overrides_before = _ium_overrides(predictor)
+
+    for record in trace:
+        info = predictor.predict(record.pc)
+        mispredicted = info.taken != record.taken
+        if mispredicted:
+            mispredictions += 1
+        accesses.record_prediction(mispredicted)
+        predictor.update_history(record.pc, record.taken, info)
+        stats = predictor.update(record.pc, record.taken, info, reread=True)
+        accesses.record_update(stats, retire_read=False)
+
+    return SimulationResult(
+        trace_name=trace.name,
+        predictor_name=predictor.name,
+        branches=trace.branch_count,
+        instructions=trace.instruction_count,
+        mispredictions=mispredictions,
+        misprediction_penalty=config.misprediction_penalty,
+        accesses=accesses,
+        scenario=UpdateScenario.IMMEDIATE.label,
+        ium_overrides=_ium_overrides(predictor) - overrides_before,
+    )
+
+
+def simulate_delayed(
+    predictor: Predictor,
+    trace: Trace,
+    scenario: UpdateScenario = UpdateScenario.REREAD_AT_RETIRE,
+    config: PipelineConfig | None = None,
+) -> SimulationResult:
+    """Simulate ``predictor`` over ``trace`` with retire-time table updates.
+
+    The in-flight window holds up to ``config.retire_delay`` branches: a
+    branch executes (its outcome becomes visible to the IUM through
+    :meth:`~repro.predictors.base.Predictor.notify_execute`) once
+    ``config.execute_delay`` younger branches have been fetched, and
+    retires — triggering the table update under the chosen ``scenario`` —
+    once ``config.retire_delay`` younger branches have been fetched.
+
+    Scenario [I] is accepted for convenience and simply dispatches to
+    :func:`simulate`.
+    """
+    if scenario is UpdateScenario.IMMEDIATE:
+        return simulate(predictor, trace, config)
+
+    config = config or PipelineConfig()
+    accesses = AccessProfile()
+    mispredictions = 0
+    overrides_before = _ium_overrides(predictor)
+
+    # Each in-flight element is (record, info, mispredicted, executed_flag).
+    inflight: deque[list] = deque()
+
+    def retire(entry: list) -> None:
+        nonlocal mispredictions
+        record, info, mispredicted, executed = entry
+        if not executed:
+            predictor.notify_execute(record.pc, record.taken, info)
+        reread = scenario.reread_at_retire(mispredicted)
+        stats = predictor.update(record.pc, record.taken, info, reread=reread)
+        accesses.record_update(stats, retire_read=reread)
+
+    for record in trace:
+        info = predictor.predict(record.pc)
+        mispredicted = info.taken != record.taken
+        if mispredicted:
+            mispredictions += 1
+        accesses.record_prediction(mispredicted)
+        predictor.update_history(record.pc, record.taken, info)
+        inflight.append([record, info, mispredicted, False])
+
+        # Execute stage: the branch `execute_delay` slots back resolves now.
+        if len(inflight) > config.execute_delay:
+            entry = inflight[-1 - config.execute_delay]
+            if not entry[3]:
+                predictor.notify_execute(entry[0].pc, entry[0].taken, entry[1])
+                entry[3] = True
+
+        # Retire stage: the window is full, the oldest branch retires.
+        if len(inflight) > config.retire_delay:
+            retire(inflight.popleft())
+
+    while inflight:
+        retire(inflight.popleft())
+
+    return SimulationResult(
+        trace_name=trace.name,
+        predictor_name=predictor.name,
+        branches=trace.branch_count,
+        instructions=trace.instruction_count,
+        mispredictions=mispredictions,
+        misprediction_penalty=config.misprediction_penalty,
+        accesses=accesses,
+        scenario=scenario.label,
+        ium_overrides=_ium_overrides(predictor) - overrides_before,
+    )
+
+
+def simulate_suite(
+    predictor_factory,
+    traces: list[Trace],
+    scenario: UpdateScenario = UpdateScenario.IMMEDIATE,
+    config: PipelineConfig | None = None,
+) -> SuiteResult:
+    """Simulate a fresh predictor instance over every trace of a suite.
+
+    Parameters
+    ----------
+    predictor_factory:
+        A zero-argument callable returning a new predictor; a fresh
+        instance is built per trace so that traces do not warm each other
+        up (the CBP rule).
+    traces:
+        The traces to run (typically from
+        :func:`repro.traces.suite.generate_suite`).
+    scenario:
+        Update scenario; immediate update by default.
+    config:
+        Pipeline configuration shared by every run.
+    """
+    if not traces:
+        raise ValueError("simulate_suite needs at least one trace")
+    config = config or PipelineConfig()
+    first = predictor_factory()
+    suite = SuiteResult(predictor_name=first.name)
+    for index, trace in enumerate(traces):
+        predictor = first if index == 0 else predictor_factory()
+        if scenario is UpdateScenario.IMMEDIATE:
+            suite.add(simulate(predictor, trace, config))
+        else:
+            suite.add(simulate_delayed(predictor, trace, scenario, config))
+    return suite

@@ -1,0 +1,63 @@
+"""Trace substrate standing in for the CBP-3 (JWAC-2) trace distribution.
+
+The paper evaluates predictors on 40 proprietary traces of roughly 50
+million micro-ops, split into five categories (CLIENT, INT, MM, SERVER,
+WS).  Those traces are not redistributable, so this subpackage provides a
+synthetic substitute:
+
+* :mod:`repro.traces.trace` — the :class:`BranchRecord` / :class:`Trace`
+  containers every simulator in the package consumes,
+* :mod:`repro.traces.synthetic` — branch *behaviour* generators (loops
+  with regular and irregular bodies, globally correlated branches,
+  statistically biased branches, local-pattern branches, large-footprint
+  call graphs) that exercise each mechanism the paper studies,
+* :mod:`repro.traces.suite` — a deterministic 40-trace benchmark suite
+  with the same category structure and the same "7 hard traces dominate
+  the misprediction count" property as the CBP-3 set (Section 2.2),
+* :mod:`repro.traces.io` — save/load of traces so expensive suites can be
+  generated once and replayed.
+"""
+
+from repro.traces.io import load_trace, save_trace
+from repro.traces.suite import (
+    CATEGORIES,
+    HARD_TRACES,
+    SuiteSpec,
+    generate_suite,
+    generate_trace,
+    trace_names,
+)
+from repro.traces.synthetic import (
+    BiasedBranch,
+    BranchSite,
+    GeneratorContext,
+    GloballyCorrelatedBranch,
+    LocalPatternBranch,
+    LoopBranch,
+    PointerChaseBranch,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.traces.trace import BranchRecord, Trace
+
+__all__ = [
+    "BiasedBranch",
+    "BranchRecord",
+    "BranchSite",
+    "CATEGORIES",
+    "GeneratorContext",
+    "GloballyCorrelatedBranch",
+    "HARD_TRACES",
+    "LocalPatternBranch",
+    "LoopBranch",
+    "PointerChaseBranch",
+    "SuiteSpec",
+    "Trace",
+    "WorkloadSpec",
+    "generate_suite",
+    "generate_trace",
+    "generate_workload",
+    "load_trace",
+    "save_trace",
+    "trace_names",
+]

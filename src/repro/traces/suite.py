@@ -1,0 +1,399 @@
+"""The CBP-like 40-trace benchmark suite.
+
+Section 2 of the paper evaluates on the 3rd Championship Branch Prediction
+trace set: 40 traces of ~50 M micro-ops in five categories (CLIENT, INT,
+MM, SERVER and WS), of which seven — CLIENT02, INT01, INT02, MM05, MM07,
+WS03 and WS04 — are "high misprediction rate" traces contributing roughly
+three quarters of all mispredictions.
+
+This module recreates that *structure* synthetically: forty deterministic
+traces with the same names and categories, where the designated hard
+traces are dominated by weakly-biased and multi-pattern branches while the
+remaining 33 are dominated by predictable behaviour (regular loops, stable
+biases, path-correlated branches).  Trace length is configurable because a
+pure-Python simulator cannot replay 50 M micro-ops per trace; the default
+lengths preserve the relative phenomena the paper measures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.traces.synthetic import (
+    BiasedBranch,
+    GloballyCorrelatedBranch,
+    LocalPatternBranch,
+    LoopBranch,
+    PointerChaseBranch,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.traces.trace import Trace
+
+__all__ = [
+    "CATEGORIES",
+    "HARD_TRACES",
+    "SuiteSpec",
+    "trace_names",
+    "generate_trace",
+    "generate_suite",
+]
+
+#: The five CBP-3 workload categories, in the order the paper lists them.
+CATEGORIES: tuple[str, ...] = ("CLIENT", "INT", "MM", "SERVER", "WS")
+
+#: The seven "high misprediction rate" traces of Section 2.2.
+HARD_TRACES: frozenset[str] = frozenset(
+    {"CLIENT02", "INT01", "INT02", "MM05", "MM07", "WS03", "WS04"}
+)
+
+#: Base PCs are spread out per site so distinct behaviours never collide in
+#: the predictor index functions (each site gets a 256-byte code block).
+_PC_STRIDE = 0x100
+#: Pointer-chase clusters contain thousands of static branches and live in
+#: their own, much larger, address regions.
+_CLUSTER_BASE = 0x4_000_000
+_CLUSTER_STRIDE = 0x200_000
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """Parameters of a generated suite.
+
+    Attributes
+    ----------
+    categories:
+        Which categories to generate (default: all five).
+    traces_per_category:
+        Number of traces per category (default 8, giving the 40-trace set).
+    branches_per_trace:
+        Dynamic conditional branches per trace.
+    seed:
+        Master seed; every trace derives its own seed from it, so the same
+        spec always yields bit-identical traces.
+    """
+
+    categories: tuple[str, ...] = CATEGORIES
+    traces_per_category: int = 8
+    branches_per_trace: int = 50_000
+    seed: int = 2011
+
+    def __post_init__(self) -> None:
+        unknown = [c for c in self.categories if c not in CATEGORIES]
+        if unknown:
+            raise ValueError(f"unknown categories {unknown}; valid: {list(CATEGORIES)}")
+        if self.traces_per_category < 1:
+            raise ValueError("traces_per_category must be positive")
+        if self.branches_per_trace < 100:
+            raise ValueError("branches_per_trace must be at least 100")
+
+
+def trace_names(spec: SuiteSpec | None = None) -> list[str]:
+    """Return the trace names of a suite, e.g. ``["CLIENT01", ..., "WS08"]``."""
+    spec = spec or SuiteSpec()
+    return [
+        f"{category}{index:02d}"
+        for category in spec.categories
+        for index in range(1, spec.traces_per_category + 1)
+    ]
+
+
+def _trace_seed(master_seed: int, name: str) -> int:
+    """Deterministically derive one trace's seed from the master seed."""
+    value = master_seed & 0xFFFFFFFF
+    for char in name:
+        value = (value * 1_000_003 + ord(char)) & 0xFFFFFFFF
+    return value
+
+
+def _pc(block: int, offset: int = 0) -> int:
+    """Return a base PC for the ``block``-th behaviour of a trace.
+
+    Each behaviour owns a 256-byte code block; a per-block pseudo-random
+    offset inside the block varies the low PC bits the way real code
+    layout does, so direct-mapped structures (bimodal, local history
+    table) are not systematically aliased by the generator's regular
+    stride.
+    """
+    jitter = (block * 2_654_435_761) % 48  # keep room for per-site offsets
+    return 0x40_0000 + block * _PC_STRIDE + jitter * 4 + offset * 4
+
+
+def _cluster_pc(cluster: int) -> int:
+    """Return a base PC for the ``cluster``-th large pointer-chase region."""
+    return _CLUSTER_BASE + cluster * _CLUSTER_STRIDE
+
+
+def _add_correlated_group(
+    spec: WorkloadSpec,
+    rng: random.Random,
+    block: int,
+    count: int,
+    source_pcs: list[int],
+    weight: float,
+    noise: float,
+) -> int:
+    """Add ``count`` branches, each copying a randomly chosen source branch."""
+    for _ in range(count):
+        source = rng.choice(source_pcs)
+        spec.add(
+            GloballyCorrelatedBranch(
+                _pc(block), source_pc=source, invert=rng.random() < 0.4, noise=noise
+            ),
+            weight=weight,
+        )
+        block += 1
+    return block
+
+
+def _hard_spec(rng: random.Random, name: str) -> WorkloadSpec:
+    """Workload for the seven high-misprediction traces (Section 2.2).
+
+    Dominated by weakly biased, data-dependent branches that carry no path
+    correlation, plus — for CLIENT02 — multi-pattern periodic branches
+    that only become predictable at multi-megabit budgets.
+    """
+    spec = WorkloadSpec()
+    block = 0
+    anchors: list[int] = []
+    # Data-dependent branches with only a weak statistical bias: these
+    # carry most of the mispredictions whatever the predictor.
+    for _ in range(rng.randint(3, 5)):
+        bias = 0.58 + rng.random() * 0.17  # 0.58 .. 0.75
+        spec.add(BiasedBranch(_pc(block), bias), weight=4.0)
+        anchors.append(_pc(block))
+        block += 1
+    # Moderately biased branches the Statistical Corrector can exploit.
+    for _ in range(rng.randint(2, 4)):
+        bias = 0.78 + rng.random() * 0.12
+        spec.add(BiasedBranch(_pc(block), bias), weight=3.0)
+        anchors.append(_pc(block))
+        block += 1
+    # Some path-correlated behaviour remains even in hard traces.
+    block = _add_correlated_group(spec, rng, block, rng.randint(2, 3), anchors, 2.0, 0.05)
+    # Strongly biased branches and small loops keep the mix realistic.
+    for _ in range(rng.randint(2, 4)):
+        spec.add(BiasedBranch(_pc(block), 0.93 + rng.random() * 0.06), weight=2.0)
+        block += 1
+    for _ in range(2):
+        spec.add(LoopBranch(_pc(block), iterations=rng.randint(4, 12)), weight=1.0)
+        block += 1
+    if name == "CLIENT02":
+        # The paper's outlier: two branches with thousands of distinct
+        # repetitive patterns, only captured by multi-megabit predictors.
+        for _ in range(2):
+            pattern = tuple(rng.random() < 0.5 for _ in range(rng.randint(24, 40)))
+            spec.add(
+                LocalPatternBranch(_pc(block), pattern, pattern_count=4096),
+                weight=5.0,
+            )
+            block += 1
+    return spec
+
+
+def _client_spec(rng: random.Random) -> WorkloadSpec:
+    """CLIENT: GUI/browser-like mixes of loops, correlation and local patterns."""
+    spec = WorkloadSpec()
+    block = 0
+    anchors: list[int] = []
+    for _ in range(rng.randint(3, 5)):
+        spec.add(LoopBranch(_pc(block), iterations=rng.randint(3, 20)), weight=2.0)
+        anchors.append(_pc(block))
+        block += 1
+    for _ in range(rng.randint(4, 6)):
+        spec.add(BiasedBranch(_pc(block), 0.9 + rng.random() * 0.09), weight=2.0)
+        anchors.append(_pc(block))
+        block += 1
+    # One or two data-dependent branches whose outcome is random in
+    # isolation but copied by the correlated branches below.
+    sources: list[int] = []
+    for _ in range(rng.randint(1, 2)):
+        spec.add(BiasedBranch(_pc(block), 0.6 + rng.random() * 0.2), weight=1.0)
+        sources.append(_pc(block))
+        block += 1
+    block = _add_correlated_group(
+        spec, rng, block, rng.randint(3, 5), anchors + sources, 3.0, 0.02
+    )
+    for _ in range(rng.randint(2, 3)):
+        pattern = tuple(rng.random() < 0.5 for _ in range(rng.randint(6, 20)))
+        spec.add(LocalPatternBranch(_pc(block), pattern), weight=3.0)
+        block += 1
+    spec.add(PointerChaseBranch(_cluster_pc(0), static_branches=rng.randint(100, 300)), weight=1.0)
+    return spec
+
+
+def _int_spec(rng: random.Random) -> WorkloadSpec:
+    """INT: dominated by path correlation, including with weakly-biased sources."""
+    spec = WorkloadSpec()
+    block = 0
+    anchors: list[int] = []
+    # Data-dependent source branches: unpredictable from their own bias but
+    # their outcomes are re-tested by the correlated branches below, which
+    # only a global-history predictor can exploit.
+    for _ in range(rng.randint(1, 2)):
+        spec.add(BiasedBranch(_pc(block), 0.6 + rng.random() * 0.15), weight=2.0)
+        anchors.append(_pc(block))
+        block += 1
+    for _ in range(rng.randint(3, 5)):
+        spec.add(BiasedBranch(_pc(block), 0.88 + rng.random() * 0.11), weight=2.0)
+        anchors.append(_pc(block))
+        block += 1
+    block = _add_correlated_group(spec, rng, block, rng.randint(4, 6), anchors, 3.0, 0.01)
+    for _ in range(rng.randint(2, 4)):
+        spec.add(LoopBranch(_pc(block), iterations=rng.randint(2, 10)), weight=2.0)
+        block += 1
+    # Branches whose behaviour is periodic in their own history but whose
+    # global context is scrambled by the surrounding data-dependent
+    # branches: the local-history case of Section 6.
+    for _ in range(rng.randint(1, 2)):
+        pattern = tuple(rng.random() < 0.5 for _ in range(rng.randint(6, 24)))
+        spec.add(LocalPatternBranch(_pc(block), pattern), weight=2.0)
+        block += 1
+    return spec
+
+
+def _mm_spec(rng: random.Random) -> WorkloadSpec:
+    """MM: regular kernel loops, some with data-dependent (irregular) bodies."""
+    spec = WorkloadSpec()
+    block = 0
+    anchors: list[int] = []
+    for _ in range(rng.randint(3, 5)):
+        spec.add(LoopBranch(_pc(block), iterations=rng.randint(8, 64)), weight=3.0)
+        anchors.append(_pc(block))
+        block += 1
+    # Constant-trip-count loops with erratic bodies: the loop-predictor case.
+    for _ in range(rng.randint(2, 3)):
+        spec.add(
+            LoopBranch(
+                _pc(block),
+                iterations=rng.randint(10, 40),
+                body_branches=rng.randint(1, 3),
+                body_bias=0.75 + rng.random() * 0.15,
+            ),
+            weight=3.0,
+        )
+        block += 1
+    for _ in range(rng.randint(2, 4)):
+        spec.add(BiasedBranch(_pc(block), 0.92 + rng.random() * 0.07), weight=2.0)
+        anchors.append(_pc(block))
+        block += 1
+    block = _add_correlated_group(spec, rng, block, rng.randint(1, 2), anchors, 1.0, 0.01)
+    # Periodic per-branch behaviour (e.g. alternating buffers) that only
+    # local history captures cleanly.
+    for _ in range(rng.randint(1, 2)):
+        pattern = tuple(rng.random() < 0.5 for _ in range(rng.randint(8, 24)))
+        spec.add(LocalPatternBranch(_pc(block), pattern), weight=2.0)
+        block += 1
+    return spec
+
+
+def _server_spec(rng: random.Random) -> WorkloadSpec:
+    """SERVER: very large static footprints with mostly stable biases."""
+    spec = WorkloadSpec()
+    block = 0
+    anchors: list[int] = []
+    spec.add(
+        PointerChaseBranch(
+            _cluster_pc(0),
+            static_branches=rng.randint(500, 2_000),
+            bias_low=0.8,
+            bias_high=0.98,
+        ),
+        weight=5.0,
+    )
+    for _ in range(rng.randint(3, 5)):
+        spec.add(LoopBranch(_pc(block), iterations=rng.randint(2, 8)), weight=2.0)
+        anchors.append(_pc(block))
+        block += 1
+    for _ in range(rng.randint(3, 5)):
+        spec.add(BiasedBranch(_pc(block), 0.9 + rng.random() * 0.09), weight=2.0)
+        anchors.append(_pc(block))
+        block += 1
+    block = _add_correlated_group(spec, rng, block, rng.randint(2, 4), anchors, 2.0, 0.02)
+    return spec
+
+
+def _ws_spec(rng: random.Random) -> WorkloadSpec:
+    """WS: a broad mix of every behaviour class."""
+    spec = WorkloadSpec()
+    block = 0
+    anchors: list[int] = []
+    for _ in range(rng.randint(2, 4)):
+        spec.add(LoopBranch(_pc(block), iterations=rng.randint(3, 30)), weight=2.0)
+        anchors.append(_pc(block))
+        block += 1
+    for _ in range(rng.randint(3, 5)):
+        spec.add(BiasedBranch(_pc(block), 0.88 + rng.random() * 0.11), weight=2.0)
+        anchors.append(_pc(block))
+        block += 1
+    for _ in range(rng.randint(1, 2)):
+        spec.add(BiasedBranch(_pc(block), 0.65 + rng.random() * 0.15), weight=1.0)
+        anchors.append(_pc(block))
+        block += 1
+    block = _add_correlated_group(spec, rng, block, rng.randint(2, 4), anchors, 3.0, 0.02)
+    for _ in range(rng.randint(1, 3)):
+        pattern = tuple(rng.random() < 0.5 for _ in range(rng.randint(6, 20)))
+        spec.add(LocalPatternBranch(_pc(block), pattern), weight=3.0)
+        block += 1
+    spec.add(PointerChaseBranch(_cluster_pc(0), static_branches=rng.randint(200, 600)), weight=1.5)
+    return spec
+
+
+_CATEGORY_BUILDERS = {
+    "CLIENT": _client_spec,
+    "INT": _int_spec,
+    "MM": _mm_spec,
+    "SERVER": _server_spec,
+    "WS": _ws_spec,
+}
+
+
+def generate_trace(
+    name: str,
+    branches_per_trace: int = 50_000,
+    seed: int = 2011,
+) -> Trace:
+    """Generate one named trace of the suite (e.g. ``"MM05"``).
+
+    The name must be ``<CATEGORY><two-digit index>``; whether the trace is
+    "hard" follows the paper's Section 2.2 classification.
+    """
+    category = name.rstrip("0123456789")
+    if category not in CATEGORIES:
+        raise ValueError(f"unknown trace name {name!r}")
+    rng = random.Random(_trace_seed(seed, name))
+    hard = name in HARD_TRACES
+    spec = _hard_spec(rng, name) if hard else _CATEGORY_BUILDERS[category](rng)
+    return generate_workload(
+        spec,
+        branch_count=branches_per_trace,
+        seed=_trace_seed(seed, name + "/stream"),
+        name=name,
+        category=category,
+        hard=hard,
+    )
+
+
+def generate_suite(
+    categories: list[str] | tuple[str, ...] | None = None,
+    traces_per_category: int = 8,
+    branches_per_trace: int = 50_000,
+    seed: int = 2011,
+) -> list[Trace]:
+    """Generate the benchmark suite.
+
+    With default arguments this produces the full 40-trace CBP-like set;
+    tests and quick experiments typically request fewer categories, fewer
+    traces per category or shorter traces.
+    """
+    spec = SuiteSpec(
+        categories=tuple(categories) if categories else CATEGORIES,
+        traces_per_category=traces_per_category,
+        branches_per_trace=branches_per_trace,
+        seed=seed,
+    )
+    return [
+        generate_trace(name, branches_per_trace=spec.branches_per_trace, seed=spec.seed)
+        for name in trace_names(spec)
+    ]

@@ -1,0 +1,119 @@
+"""Branch trace containers.
+
+A :class:`Trace` is the unit of work every simulator in this package
+consumes: an ordered sequence of conditional-branch outcomes plus enough
+metadata to compute the paper's MPPKI metric (which normalises by the
+number of executed micro-ops, not by the number of branches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["BranchRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One dynamic conditional branch.
+
+    Attributes
+    ----------
+    pc:
+        Program counter (byte address) of the branch instruction.
+    taken:
+        Resolved direction of the branch.
+    preceding_instructions:
+        Number of non-branch micro-ops executed since the previous
+        conditional branch; used to compute per-kilo-instruction metrics.
+    site:
+        Optional label of the synthetic behaviour that generated the
+        branch, useful for per-behaviour analysis and debugging.
+    """
+
+    pc: int
+    taken: bool
+    preceding_instructions: int = 4
+    site: str = ""
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ValueError("branch pc must be non-negative")
+        if self.preceding_instructions < 0:
+            raise ValueError("preceding_instructions must be non-negative")
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of dynamic conditional branches.
+
+    Attributes
+    ----------
+    name:
+        Trace identifier, e.g. ``"INT01"``.
+    category:
+        Workload category, one of CLIENT / INT / MM / SERVER / WS for the
+        CBP-like suite (free-form for user traces).
+    records:
+        The dynamic branch stream.
+    hard:
+        Marks the trace as one of the "high misprediction rate" traces the
+        paper singles out in Section 2.2.
+    """
+
+    name: str
+    category: str = ""
+    records: list[BranchRecord] = field(default_factory=list)
+    hard: bool = False
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        return iter(self.records)
+
+    def append(self, record: BranchRecord) -> None:
+        """Append one dynamic branch."""
+        self.records.append(record)
+
+    @property
+    def branch_count(self) -> int:
+        """Number of dynamic conditional branches."""
+        return len(self.records)
+
+    @property
+    def instruction_count(self) -> int:
+        """Total number of micro-ops (branches plus preceding instructions)."""
+        return sum(record.preceding_instructions + 1 for record in self.records)
+
+    @property
+    def static_branch_count(self) -> int:
+        """Number of distinct static branch PCs (the trace "footprint")."""
+        return len({record.pc for record in self.records})
+
+    @property
+    def taken_rate(self) -> float:
+        """Fraction of dynamic branches that are taken."""
+        if not self.records:
+            return 0.0
+        return sum(1 for record in self.records if record.taken) / len(self.records)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Return a new trace holding ``records[start:stop]``."""
+        return Trace(
+            name=f"{self.name}[{start}:{stop}]",
+            category=self.category,
+            records=self.records[start:stop],
+            hard=self.hard,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable description of the trace."""
+        return (
+            f"{self.name} ({self.category or 'uncategorised'}): "
+            f"{self.branch_count} branches, {self.instruction_count} uops, "
+            f"{self.static_branch_count} static branches, "
+            f"taken rate {self.taken_rate:.2f}"
+            f"{', hard' if self.hard else ''}"
+        )

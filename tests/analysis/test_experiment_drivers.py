@@ -1,0 +1,140 @@
+"""Tests for the experiment drivers and reporting helpers.
+
+Each driver is run on a very small suite; the assertions target the
+*shape* the paper reports (orderings and directions), not absolute values.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_access_counts,
+    run_bank_interleaving,
+    run_cost_effective,
+    run_fig9_size_sweep,
+    run_fig10_hard_traces,
+    run_history_robustness,
+    run_ium_recovery,
+    run_side_predictor_stack,
+    run_suite_characteristics,
+    run_update_scenarios,
+)
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import scaled_tage, scaled_tage_config, scaled_tage_lsc
+from repro.pipeline.config import PipelineConfig
+from repro.traces.suite import generate_suite, generate_trace
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return generate_suite(categories=["INT", "MM"], traces_per_category=1,
+                          branches_per_trace=1200, seed=3)
+
+
+@pytest.fixture(scope="module")
+def mixed_suite():
+    """Two easy traces plus one hard trace, for the subset experiments."""
+    return [
+        generate_trace("INT03", branches_per_trace=1200, seed=3),
+        generate_trace("MM01", branches_per_trace=1200, seed=3),
+        generate_trace("INT01", branches_per_trace=1200, seed=3),
+    ]
+
+
+FAST_PIPELINE = PipelineConfig(retire_delay=8, execute_delay=2)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 2]], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+
+class TestSweepHelpers:
+    def test_scaled_config_changes_storage(self):
+        assert scaled_tage_config(1).storage_bits > scaled_tage_config(0).storage_bits
+        assert scaled_tage_config(-2).storage_bits < scaled_tage_config(0).storage_bits
+
+    def test_scaled_predictors_build(self):
+        assert scaled_tage(-2).storage_bits < scaled_tage(0).storage_bits
+        assert scaled_tage_lsc(-2).storage_bits < scaled_tage_lsc(0).storage_bits
+
+
+class TestExperimentDrivers:
+    def test_access_counts_table(self, small_suite):
+        table = run_access_counts(small_suite)
+        assert table.column("predictor") == ["tage", "gehl", "gshare"]
+        tage_row = table.lookup("tage")
+        # Silent-update elimination: fewer than one write access per branch.
+        assert 0 < tage_row[2] < 100
+
+    def test_update_scenarios_ordering(self, small_suite):
+        table = run_update_scenarios(small_suite, config=FAST_PIPELINE, include_gehl=False)
+        for row in table.rows:
+            label, i, a, b, c = row
+            assert i <= a * 1.02          # immediate update is the best case
+            assert b >= a                  # never reading at retire is the worst case
+        tage = table.lookup("tage")
+        gshare = table.lookup("gshare")
+        # TAGE tolerates scenario [B] better than gshare (relative degradation).
+        assert tage[3] / tage[1] <= gshare[3] / gshare[1] * 1.2
+
+    def test_bank_interleaving_costs(self, small_suite):
+        table = run_bank_interleaving(small_suite, config=FAST_PIPELINE)
+        reduction = table.lookup("reduction (3-port / banked)")
+        assert reduction[2] > 2.5   # area reduction
+        assert reduction[3] > 1.5   # energy reduction
+
+    def test_ium_recovery(self, small_suite):
+        table = run_ium_recovery(small_suite, config=FAST_PIPELINE)
+        plain = table.lookup("tage")
+        with_ium = table.lookup("tage+ium")
+        assert with_ium[2] <= plain[2] * 1.03  # scenario [A] not degraded
+        assert with_ium[5] >= 0
+
+    def test_side_predictor_stack(self, small_suite):
+        table = run_side_predictor_stack(small_suite)
+        mppki = dict(zip(table.column("predictor"), table.column("mppki")))
+        assert mppki["isl-tage (tage+ium+loop+sc)"] <= mppki["tage"] * 1.02
+        assert mppki["tage-lsc (tage+ium+lsc)"] <= mppki["tage"] * 1.02
+
+    def test_history_robustness_variants_all_run(self, small_suite):
+        table = run_history_robustness(small_suite)
+        assert len(table.rows) == 6
+        values = table.column("mppki")
+        assert max(values) / min(values) < 1.6  # robustness: no variant collapses
+
+    def test_fig9_sweep_larger_is_better(self, small_suite):
+        table = run_fig9_size_sweep(small_suite, log2_factors=[-2, 0])
+        small_row = table.lookup(-2)
+        large_row = table.lookup(0)
+        assert large_row[2] <= small_row[2] * 1.05  # TAGE improves with size
+        assert large_row[4] <= small_row[4] * 1.05  # TAGE-LSC improves with size
+
+    def test_fig10_hard_traces(self, mixed_suite):
+        table = run_fig10_hard_traces(mixed_suite)
+        for row in table.rows:
+            assert row[1] > row[2]  # hard traces mispredict more than easy ones
+
+    def test_cost_effective_ladder(self, mixed_suite):
+        table = run_cost_effective(mixed_suite, config=FAST_PIPELINE)
+        assert len(table.rows) == 6
+        baseline = table.rows[0][2]
+        scenario_b = table.rows[-1][2]
+        assert scenario_b >= baseline * 0.98  # [B] is never better than the baseline
+
+    def test_suite_characteristics_share(self, mixed_suite):
+        table = run_suite_characteristics(mixed_suite)
+        hard = table.lookup("hard")
+        easy = table.lookup("easy")
+        assert hard[3] + easy[3] == pytest.approx(1.0)
+        assert hard[4] > easy[4]  # hard traces have higher MPPKI
+
+    def test_experiment_table_rendering(self, small_suite):
+        table = run_access_counts(small_suite)
+        text = table.to_table()
+        assert "E1" in text and "paper reference" in text
+        with pytest.raises(KeyError):
+            table.lookup("not-a-predictor")

@@ -1,0 +1,82 @@
+"""Unit tests for the bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bits import bit_select, fold_bits, mask, mix_hash
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+        assert mask(16) == 0xFFFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_mask_is_all_ones(self, width):
+        assert mask(width) == (1 << width) - 1
+
+
+class TestBitSelect:
+    def test_extracts_field(self):
+        assert bit_select(0b110100, 2, 3) == 0b101
+
+    def test_zero_width_is_zero(self):
+        assert bit_select(0xFFFF, 3, 0) == 0
+
+    def test_negative_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            bit_select(1, -1, 2)
+        with pytest.raises(ValueError):
+            bit_select(1, 0, -2)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=24),
+           st.integers(min_value=0, max_value=16))
+    def test_matches_shift_and_mask(self, value, low, width):
+        assert bit_select(value, low, width) == (value >> low) & ((1 << width) - 1)
+
+
+class TestFoldBits:
+    def test_simple_fold(self):
+        assert fold_bits(0b1111_0000_1010, 12, 4) == 0b1111 ^ 0b0000 ^ 0b1010
+
+    def test_fold_within_width_is_identity(self):
+        assert fold_bits(0b1011, 4, 8) == 0b1011
+
+    def test_zero_output_width_rejected(self):
+        with pytest.raises(ValueError):
+            fold_bits(3, 4, 0)
+
+    @given(st.integers(min_value=0, max_value=2**40 - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_result_fits_output_width(self, value, width):
+        assert 0 <= fold_bits(value, 40, width) < (1 << width)
+
+    @given(st.integers(min_value=0, max_value=2**30 - 1),
+           st.integers(min_value=1, max_value=12))
+    def test_fold_is_xor_linear(self, value, width):
+        """fold(a ^ b) == fold(a) ^ fold(b) — the property hash functions rely on."""
+        other = 0x15A5A5A
+        assert fold_bits(value ^ other, 30, width) == (
+            fold_bits(value, 30, width) ^ fold_bits(other, 30, width)
+        )
+
+
+class TestMixHash:
+    def test_within_width(self):
+        assert 0 <= mix_hash(0x400812, 0x3F, width=10) < 1024
+
+    def test_deterministic(self):
+        assert mix_hash(12, 34, width=8) == mix_hash(12, 34, width=8)
+
+    def test_argument_order_matters(self):
+        assert mix_hash(1, 2, width=12) != mix_hash(2, 1, width=12)

@@ -1,0 +1,43 @@
+"""Unit tests for the storage accounting helpers."""
+
+from repro.common.storage import StorageItem, StorageReport
+
+
+class TestStorageItem:
+    def test_total_bits(self):
+        assert StorageItem("tags", 2048, 12).total_bits == 24576
+
+
+class TestStorageReport:
+    def test_add_and_total(self):
+        report = StorageReport("demo")
+        report.add("counters", 1024, 3)
+        report.add("tags", 1024, 12)
+        assert report.total_bits == 1024 * 15
+
+    def test_units(self):
+        report = StorageReport("demo")
+        report.add("bits", 1024, 8)
+        assert report.total_kbits == 8.0
+        assert report.total_bytes == 1024.0
+
+    def test_fits_budget(self):
+        report = StorageReport("demo")
+        report.add("bits", 1000, 1)
+        assert report.fits_budget(1000)
+        assert not report.fits_budget(999)
+
+    def test_extend_with_prefix(self):
+        child = StorageReport("child")
+        child.add("counters", 10, 2)
+        parent = StorageReport("parent")
+        parent.extend(child, prefix="T1 ")
+        assert parent.items[0].name == "T1 counters"
+        assert parent.total_bits == 20
+
+    def test_to_table_mentions_every_item(self):
+        report = StorageReport("demo")
+        report.add("alpha", 1, 1)
+        report.add("beta", 2, 2)
+        rendered = report.to_table()
+        assert "alpha" in rendered and "beta" in rendered and "TOTAL" in rendered

@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic traces used across the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.suite import generate_suite, generate_trace
+from repro.traces.synthetic import (
+    BiasedBranch,
+    LoopBranch,
+    WorkloadSpec,
+    generate_workload,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    """One small INT trace (deterministic, ~1500 branches)."""
+    return generate_trace("INT03", branches_per_trace=1500, seed=7)
+
+
+@pytest.fixture(scope="session")
+def loop_trace():
+    """A trace dominated by one constant-trip-count loop."""
+    spec = WorkloadSpec().add(LoopBranch(0x1000, iterations=10))
+    return generate_workload(spec, 1500, seed=11, name="loop-only")
+
+
+@pytest.fixture(scope="session")
+def biased_trace():
+    """A trace of one strongly biased branch plus one weakly biased branch."""
+    spec = WorkloadSpec()
+    spec.add(BiasedBranch(0x1000, 0.95), weight=2.0)
+    spec.add(BiasedBranch(0x2000, 0.7), weight=1.0)
+    return generate_workload(spec, 1500, seed=13, name="biased-only")
+
+
+@pytest.fixture(scope="session")
+def mini_suite():
+    """A four-trace suite (one per category minus SERVER) with short traces."""
+    return generate_suite(
+        categories=["CLIENT", "INT", "MM", "WS"],
+        traces_per_category=1,
+        branches_per_trace=1500,
+        seed=2011,
+    )

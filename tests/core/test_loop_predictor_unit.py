@@ -1,0 +1,117 @@
+"""Unit tests for the loop predictor and its speculative iteration manager."""
+
+from repro.core.loop_predictor import (
+    CONFIDENCE_MAX,
+    LoopPredictor,
+    SpeculativeLoopIterationManager,
+)
+
+
+def train_loop(predictor: LoopPredictor, pc: int, trip_count: int, executions: int) -> None:
+    """Feed `executions` full executions of a loop with `trip_count` back-edges."""
+    for _ in range(executions):
+        for iteration in range(trip_count + 1):
+            taken = iteration < trip_count
+            prediction = predictor.predict(pc)
+            main_correct = not (prediction.hit and prediction.confident) or (
+                prediction.taken == taken
+            )
+            predictor.update(pc, taken, prediction, main_prediction_correct=False
+                             if iteration == trip_count and not prediction.confident else True)
+
+
+class TestLoopLearning:
+    def test_allocation_on_misprediction(self):
+        predictor = LoopPredictor()
+        prediction = predictor.predict(0x4000)
+        assert not prediction.hit
+        predictor.update(0x4000, False, prediction, main_prediction_correct=False)
+        assert predictor.predict(0x4000).hit
+
+    def test_becomes_confident_after_repeated_trip_counts(self):
+        predictor = LoopPredictor()
+        pc = 0x4000
+        # Allocate on a mispredicted exit, then feed identical executions.
+        predictor.update(pc, False, predictor.predict(pc), main_prediction_correct=False)
+        for _ in range(CONFIDENCE_MAX + 2):
+            for iteration in range(6):
+                taken = iteration < 5
+                prediction = predictor.predict(pc)
+                predictor.update(pc, taken, prediction, main_prediction_correct=True)
+        assert predictor.predict(pc).confident
+
+    def test_confident_loop_predicts_exit_exactly(self):
+        predictor = LoopPredictor()
+        pc = 0x4000
+        predictor.update(pc, False, predictor.predict(pc), main_prediction_correct=False)
+        for _ in range(CONFIDENCE_MAX + 2):
+            for iteration in range(4):
+                taken = iteration < 3
+                predictor.update(pc, taken, predictor.predict(pc), main_prediction_correct=True)
+        # Now walk one more execution checking each prediction.
+        outcomes = []
+        for iteration in range(4):
+            taken = iteration < 3
+            prediction = predictor.predict(pc)
+            outcomes.append((prediction.confident, prediction.taken, taken))
+            predictor.update(pc, taken, prediction, main_prediction_correct=True)
+        assert all(pred == actual for confident, pred, actual in outcomes if confident)
+
+    def test_irregular_trip_count_never_confident(self):
+        predictor = LoopPredictor()
+        pc = 0x4000
+        predictor.update(pc, False, predictor.predict(pc), main_prediction_correct=False)
+        import itertools
+        for trip in itertools.islice(itertools.cycle([3, 5, 4, 6]), 20):
+            for iteration in range(trip + 1):
+                taken = iteration < trip
+                predictor.update(pc, taken, predictor.predict(pc), main_prediction_correct=True)
+        assert not predictor.predict(pc).confident
+
+    def test_failed_confident_prediction_frees_entry(self):
+        predictor = LoopPredictor()
+        pc = 0x4000
+        predictor.update(pc, False, predictor.predict(pc), main_prediction_correct=False)
+        for _ in range(CONFIDENCE_MAX + 2):
+            for iteration in range(4):
+                taken = iteration < 3
+                predictor.update(pc, taken, predictor.predict(pc), main_prediction_correct=True)
+        assert predictor.predict(pc).confident
+        # Break the loop: exit after only one iteration.
+        prediction = predictor.predict(pc)
+        predictor.update(pc, True, prediction, main_prediction_correct=True)
+        prediction = predictor.predict(pc)
+        predictor.update(pc, False, prediction, main_prediction_correct=True)
+        assert not predictor.predict(pc).confident
+
+    def test_entry_bits_match_paper(self):
+        assert LoopPredictor().entry_bits == 37
+
+    def test_storage_report(self):
+        assert LoopPredictor(entries=64).storage_report().total_bits == 64 * 37
+
+
+class TestSpeculativeIterationManager:
+    def test_speculative_count_advances_before_retire(self):
+        slim = SpeculativeLoopIterationManager()
+        slim.record(set_index=1, tag=7, iteration=3)
+        slim.record(set_index=1, tag=7, iteration=4)
+        assert slim.speculative_iteration(1, 7, retired_iteration=0) == 4
+
+    def test_falls_back_to_retired_count(self):
+        slim = SpeculativeLoopIterationManager()
+        assert slim.speculative_iteration(0, 1, retired_iteration=9) == 9
+
+    def test_squash_after_misprediction(self):
+        slim = SpeculativeLoopIterationManager()
+        first = slim.record(0, 1, 1)
+        slim.record(0, 1, 2)
+        slim.record(0, 1, 3)
+        slim.squash_after(first)
+        assert slim.speculative_iteration(0, 1, retired_iteration=0) == 1
+
+    def test_release(self):
+        slim = SpeculativeLoopIterationManager()
+        seq = slim.record(0, 1, 1)
+        slim.release(seq)
+        assert len(slim) == 0

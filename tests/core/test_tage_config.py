@@ -1,0 +1,86 @@
+"""Tests for the TAGE configuration machinery."""
+
+import pytest
+
+from repro.core.config import TAGEConfig, make_reference_tage_config
+
+
+class TestReferenceConfig:
+    def test_thirteen_components(self):
+        config = make_reference_tage_config()
+        assert config.num_tagged_tables == 12
+        assert config.num_components == 13
+
+    def test_geometric_series_endpoints(self):
+        config = make_reference_tage_config()
+        assert config.history_lengths[0] == 6
+        assert config.history_lengths[-1] == 2000
+
+    def test_table_sizes_follow_the_paper(self):
+        config = make_reference_tage_config()
+        sizes = config.table_log2_entries
+        assert sizes[0] == 11            # T1: 2K entries
+        assert all(s == 12 for s in sizes[1:7])   # T2-T7: 4K entries
+        assert sizes[7] == sizes[8] == 11         # T8-T9: 2K entries
+        assert all(s == 10 for s in sizes[9:])    # T10-T12: 1K entries
+
+    def test_tag_widths_grow_and_cap_at_15(self):
+        config = make_reference_tage_config()
+        assert config.tag_widths[0] == 7
+        assert config.tag_widths[-1] == 15
+        assert all(b >= a for a, b in zip(config.tag_widths, config.tag_widths[1:]))
+
+    def test_storage_in_64kbyte_class(self):
+        config = make_reference_tage_config()
+        assert 60 * 1024 * 8 < config.storage_bits < 72 * 1024 * 8
+
+    def test_bimodal_shared_hysteresis(self):
+        config = make_reference_tage_config()
+        assert config.bimodal_log2_entries == 15
+        assert config.bimodal_hysteresis_sharing == 4
+
+
+class TestConfigValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            TAGEConfig(
+                table_log2_entries=(10, 10),
+                tag_widths=(8,),
+                history_lengths=(4, 8),
+            )
+
+    def test_non_increasing_histories_rejected(self):
+        with pytest.raises(ValueError):
+            TAGEConfig(
+                table_log2_entries=(10, 10),
+                tag_widths=(8, 9),
+                history_lengths=(8, 8),
+            )
+
+    def test_generate_produces_valid_config(self):
+        config = TAGEConfig.generate(num_tagged_tables=8, min_history=6, max_history=1000)
+        assert config.num_tagged_tables == 8
+        assert config.history_lengths[-1] == 1000
+        assert config.storage_bits > 0
+
+
+class TestConfigTransforms:
+    def test_scaled_multiplies_storage_by_power_of_two(self):
+        config = make_reference_tage_config()
+        doubled = config.scaled(1)
+        # Table storage doubles; scalar registers do not, so allow slack.
+        assert doubled.storage_bits > 1.9 * config.storage_bits
+
+    def test_scaled_down_never_reaches_zero(self):
+        tiny = make_reference_tage_config().scaled(-8)
+        assert all(size >= 1 for size in tiny.table_log2_entries)
+
+    def test_with_history_series(self):
+        config = make_reference_tage_config().with_history_series(3, 300)
+        assert config.history_lengths[0] == 3
+        assert config.history_lengths[-1] == 300
+        assert config.num_tagged_tables == 12
+
+    def test_describe_lists_all_tables(self):
+        text = make_reference_tage_config().describe()
+        assert "T1" in text and "T12" in text

@@ -1,0 +1,98 @@
+"""Property-based tests for the incrementally folded histories.
+
+The central invariant: maintaining a fold incrementally (insert the newest
+bit, drop the bit leaving the window) always equals recomputing the fold
+from the full history — for any history length, fold width and outcome
+sequence.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histories.folded import FoldedHistory, FoldedHistorySet
+from repro.histories.global_history import GlobalHistoryRegister
+
+
+def _drive(fold: FoldedHistory, history: GlobalHistoryRegister, outcomes) -> None:
+    """Feed outcomes through the fold exactly the way a predictor does."""
+    for taken in outcomes:
+        dropped = history.bit(fold.history_length - 1) if len(history) else 0
+        fold.update(1 if taken else 0, dropped)
+        history.push(taken)
+
+
+class TestFoldedHistory:
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=14),
+        st.lists(st.booleans(), max_size=400),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_matches_recompute(self, history_length, width, outcomes):
+        fold = FoldedHistory(history_length, width)
+        history = GlobalHistoryRegister(capacity=max(256, history_length + 8))
+        _drive(fold, history, outcomes)
+        assert fold.value == fold.recompute(history)
+
+    def test_fold_value_stays_in_width(self):
+        fold = FoldedHistory(64, 10)
+        history = GlobalHistoryRegister(capacity=128)
+        _drive(fold, history, [True] * 200)
+        assert 0 <= fold.value < 1 << 10
+
+    def test_all_zero_history_folds_to_zero(self):
+        fold = FoldedHistory(32, 8)
+        history = GlobalHistoryRegister(capacity=64)
+        _drive(fold, history, [False] * 100)
+        assert fold.value == 0
+
+    def test_checkpoint_restore(self):
+        fold = FoldedHistory(20, 7)
+        history = GlobalHistoryRegister(capacity=64)
+        _drive(fold, history, [True, False, True, True])
+        snapshot = fold.checkpoint()
+        _drive(fold, history, [False, False])
+        fold.restore(snapshot)
+        assert fold.value == snapshot
+
+    def test_clear(self):
+        fold = FoldedHistory(20, 7)
+        history = GlobalHistoryRegister(capacity=64)
+        _drive(fold, history, [True] * 30)
+        fold.clear()
+        assert fold.value == 0
+
+    def test_old_bits_leave_the_window(self):
+        """After pushing `history_length` zeros, earlier ones must not linger."""
+        fold = FoldedHistory(8, 4)
+        history = GlobalHistoryRegister(capacity=64)
+        _drive(fold, history, [True] * 10)
+        _drive(fold, history, [False] * 8)
+        assert fold.value == 0
+
+
+class TestFoldedHistorySet:
+    def test_three_folds_advance_together(self):
+        folds = FoldedHistorySet(history_length=30, index_width=10, tag_width=8)
+        history = GlobalHistoryRegister(capacity=64)
+        for taken in [True, False, True, True, False]:
+            dropped = history.bit(29) if len(history) else 0
+            folds.update(1 if taken else 0, dropped)
+            history.push(taken)
+        assert folds.index_fold.value == folds.index_fold.recompute(history)
+        assert folds.tag_fold_1.value == folds.tag_fold_1.recompute(history)
+        assert folds.tag_fold_2.value == folds.tag_fold_2.recompute(history)
+
+    def test_checkpoint_restore_roundtrip(self):
+        folds = FoldedHistorySet(history_length=12, index_width=9, tag_width=11)
+        folds.update(1, 0)
+        snapshot = folds.checkpoint()
+        folds.update(1, 0)
+        folds.restore(snapshot)
+        assert folds.checkpoint() == snapshot
+
+    def test_clear(self):
+        folds = FoldedHistorySet(history_length=12, index_width=9, tag_width=11)
+        folds.update(1, 0)
+        folds.clear()
+        assert folds.checkpoint() == (0, 0, 0)

@@ -1,0 +1,60 @@
+"""Tests for the geometric history-length series."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.histories.geometric import geometric_series, validate_series
+
+
+class TestGeometricSeries:
+    def test_reference_series_endpoints(self):
+        series = geometric_series(6, 2000, 12)
+        assert series[0] == 6
+        assert series[-1] == 2000
+        assert len(series) == 12
+
+    def test_strictly_increasing(self):
+        series = geometric_series(3, 300, 13)
+        assert all(b > a for a, b in zip(series, series[1:]))
+
+    def test_single_table(self):
+        assert geometric_series(5, 100, 1) == [5]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            geometric_series(0, 100, 4)
+        with pytest.raises(ValueError):
+            geometric_series(10, 5, 4)
+        with pytest.raises(ValueError):
+            geometric_series(5, 100, 0)
+
+    def test_roughly_geometric_growth(self):
+        series = geometric_series(6, 2000, 12)
+        ratios = [b / a for a, b in zip(series[3:], series[4:])]
+        # After the small-integer rounding region the growth ratio is stable.
+        assert max(ratios) / min(ratios) < 1.6
+
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=2, max_value=15))
+    def test_valid_for_many_shapes(self, min_length, count):
+        max_length = min_length + 500
+        series = geometric_series(min_length, max_length, count)
+        validate_series(series)
+        assert len(series) == count
+        assert series[0] == min_length
+        assert series[-1] >= max_length
+
+
+class TestValidateSeries:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_series([])
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            validate_series([4, 4, 8])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            validate_series([0, 3, 9])

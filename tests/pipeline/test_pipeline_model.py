@@ -1,0 +1,164 @@
+"""Tests for the update scenarios, pipeline config, metrics and simulators."""
+
+import pytest
+
+from repro.core.tage import make_reference_tage
+from repro.hardware.access_counter import AccessProfile
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.metrics import SimulationResult, SuiteResult
+from repro.pipeline.scenarios import UpdateScenario
+from repro.pipeline.simulator import simulate, simulate_delayed, simulate_suite
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.static import AlwaysTakenPredictor
+
+
+class TestUpdateScenario:
+    def test_labels(self):
+        assert UpdateScenario.REREAD_ON_MISPREDICTION.label == "[C]"
+        assert UpdateScenario.IMMEDIATE.label == "[I]"
+
+    def test_reread_policy(self):
+        assert UpdateScenario.REREAD_AT_RETIRE.reread_at_retire(False) is True
+        assert UpdateScenario.FETCH_READ_ONLY.reread_at_retire(True) is False
+        assert UpdateScenario.REREAD_ON_MISPREDICTION.reread_at_retire(True) is True
+        assert UpdateScenario.REREAD_ON_MISPREDICTION.reread_at_retire(False) is False
+
+    def test_immediate_has_no_retire_policy(self):
+        with pytest.raises(ValueError):
+            UpdateScenario.IMMEDIATE.reread_at_retire(False)
+
+
+class TestPipelineConfig:
+    def test_defaults_valid(self):
+        config = PipelineConfig()
+        assert config.execute_delay <= config.retire_delay
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(retire_delay=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(retire_delay=4, execute_delay=8)
+        with pytest.raises(ValueError):
+            PipelineConfig(misprediction_penalty=0)
+
+
+class TestMetrics:
+    def make_result(self, mispredictions=50):
+        return SimulationResult(
+            trace_name="T", predictor_name="P", branches=1000,
+            instructions=6000, mispredictions=mispredictions, misprediction_penalty=20,
+        )
+
+    def test_mpki_and_mppki(self):
+        result = self.make_result()
+        assert result.mpki == pytest.approx(1000 * 50 / 6000)
+        assert result.mppki == pytest.approx(result.mpki * 20)
+
+    def test_accuracy(self):
+        assert self.make_result(100).accuracy == pytest.approx(0.9)
+
+    def test_suite_aggregation(self):
+        suite = SuiteResult("P")
+        suite.add(self.make_result(10))
+        suite.add(self.make_result(30))
+        assert suite.mispredictions == 40
+        assert suite.branches == 2000
+        assert suite.mpki == pytest.approx(1000 * 40 / 12000)
+
+    def test_suite_subset(self):
+        suite = SuiteResult("P")
+        first = self.make_result(10)
+        second = self.make_result(20)
+        second.trace_name = "U"
+        suite.add(first)
+        suite.add(second)
+        assert suite.subset({"U"}).mispredictions == 20
+
+    def test_per_trace_mapping(self):
+        suite = SuiteResult("P")
+        suite.add(self.make_result(10))
+        assert "T" in suite.per_trace()
+
+    def test_summaries_are_strings(self):
+        assert "MPPKI" in self.make_result().summary()
+        suite = SuiteResult("P")
+        suite.add(self.make_result())
+        assert "MPPKI" in suite.summary()
+
+
+class TestSimulate:
+    def test_counts_are_consistent(self, tiny_trace):
+        result = simulate(make_reference_tage(), tiny_trace)
+        assert result.branches == len(tiny_trace)
+        assert 0 < result.mispredictions < result.branches
+        assert result.accesses.branches == result.branches
+        assert result.accesses.fetch_reads == result.branches
+
+    def test_always_taken_matches_taken_rate(self, tiny_trace):
+        result = simulate(AlwaysTakenPredictor(), tiny_trace)
+        not_taken = sum(1 for record in tiny_trace if not record.taken)
+        assert result.mispredictions == not_taken
+
+    def test_scenario_label_is_immediate(self, tiny_trace):
+        assert simulate(make_reference_tage(), tiny_trace).scenario == "[I]"
+
+
+class TestSimulateDelayed:
+    def test_immediate_scenario_dispatches_to_simulate(self, tiny_trace):
+        delayed = simulate_delayed(make_reference_tage(), tiny_trace, UpdateScenario.IMMEDIATE)
+        immediate = simulate(make_reference_tage(), tiny_trace)
+        assert delayed.mispredictions == immediate.mispredictions
+
+    def test_delayed_update_never_beats_immediate(self, tiny_trace):
+        immediate = simulate(GSharePredictor(log2_entries=14), tiny_trace)
+        delayed = simulate_delayed(
+            GSharePredictor(log2_entries=14), tiny_trace, UpdateScenario.REREAD_AT_RETIRE
+        )
+        assert delayed.mispredictions >= immediate.mispredictions
+
+    def test_scenario_ordering_for_gshare(self, tiny_trace):
+        """The paper's ordering [A] <= [C] <= [B] must hold for gshare."""
+        def run(scenario):
+            return simulate_delayed(
+                GSharePredictor(log2_entries=14), tiny_trace, scenario
+            ).mispredictions
+
+        a = run(UpdateScenario.REREAD_AT_RETIRE)
+        b = run(UpdateScenario.FETCH_READ_ONLY)
+        c = run(UpdateScenario.REREAD_ON_MISPREDICTION)
+        assert a <= c <= b or (a <= b and c <= b)  # B is always the worst
+
+    def test_retire_reads_follow_scenario(self, tiny_trace):
+        result_a = simulate_delayed(make_reference_tage(), tiny_trace,
+                                    UpdateScenario.REREAD_AT_RETIRE)
+        result_b = simulate_delayed(make_reference_tage(), tiny_trace,
+                                    UpdateScenario.FETCH_READ_ONLY)
+        result_c = simulate_delayed(make_reference_tage(), tiny_trace,
+                                    UpdateScenario.REREAD_ON_MISPREDICTION)
+        assert result_a.accesses.retire_reads == result_a.branches
+        assert result_b.accesses.retire_reads == 0
+        assert result_c.accesses.retire_reads == result_c.mispredictions
+
+    def test_larger_window_hurts_more(self, tiny_trace):
+        small = simulate_delayed(make_reference_tage(), tiny_trace,
+                                 UpdateScenario.FETCH_READ_ONLY,
+                                 PipelineConfig(retire_delay=4, execute_delay=1))
+        large = simulate_delayed(make_reference_tage(), tiny_trace,
+                                 UpdateScenario.FETCH_READ_ONLY,
+                                 PipelineConfig(retire_delay=64, execute_delay=16))
+        assert large.mispredictions >= small.mispredictions
+
+
+class TestSimulateSuite:
+    def test_one_result_per_trace(self, mini_suite):
+        suite = simulate_suite(lambda: GSharePredictor(log2_entries=12), mini_suite)
+        assert len(suite) == len(mini_suite)
+        assert suite.predictor_name.startswith("gshare")
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_suite(lambda: GSharePredictor(), [])
+
+    def test_access_profile_merged(self, mini_suite):
+        suite = simulate_suite(lambda: GSharePredictor(log2_entries=12), mini_suite)
+        assert suite.access_profile.branches == suite.branches

@@ -1,0 +1,58 @@
+"""Tests for the BranchRecord / Trace containers."""
+
+import pytest
+
+from repro.traces.trace import BranchRecord, Trace
+
+
+class TestBranchRecord:
+    def test_defaults(self):
+        record = BranchRecord(pc=0x400000, taken=True)
+        assert record.preceding_instructions == 4
+        assert record.site == ""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BranchRecord(pc=-1, taken=True)
+        with pytest.raises(ValueError):
+            BranchRecord(pc=4, taken=True, preceding_instructions=-2)
+
+    def test_frozen(self):
+        record = BranchRecord(pc=4, taken=True)
+        with pytest.raises(AttributeError):
+            record.taken = False
+
+
+class TestTrace:
+    def make(self):
+        trace = Trace(name="demo", category="INT")
+        trace.append(BranchRecord(pc=0x100, taken=True, preceding_instructions=3))
+        trace.append(BranchRecord(pc=0x200, taken=False, preceding_instructions=5))
+        trace.append(BranchRecord(pc=0x100, taken=True, preceding_instructions=2))
+        return trace
+
+    def test_counts(self):
+        trace = self.make()
+        assert trace.branch_count == 3
+        assert trace.static_branch_count == 2
+        assert trace.instruction_count == 3 + 5 + 2 + 3
+
+    def test_taken_rate(self):
+        assert self.make().taken_rate == pytest.approx(2 / 3)
+
+    def test_taken_rate_empty(self):
+        assert Trace(name="empty").taken_rate == 0.0
+
+    def test_iteration_order(self):
+        trace = self.make()
+        assert [record.pc for record in trace] == [0x100, 0x200, 0x100]
+
+    def test_slice(self):
+        piece = self.make().slice(1, 3)
+        assert piece.branch_count == 2
+        assert piece.records[0].pc == 0x200
+        assert "demo" in piece.name
+
+    def test_summary_mentions_name_and_counts(self):
+        summary = self.make().summary()
+        assert "demo" in summary and "3 branches" in summary

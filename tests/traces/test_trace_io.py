@@ -1,0 +1,53 @@
+"""Tests for trace serialisation round-trips."""
+
+import pytest
+
+from repro.traces.io import load_trace, save_trace
+from repro.traces.suite import generate_trace
+from repro.traces.trace import BranchRecord, Trace
+
+
+class TestTraceIO:
+    def test_round_trip_preserves_records(self, tmp_path):
+        trace = generate_trace("CLIENT03", branches_per_trace=400, seed=4)
+        path = tmp_path / "client03.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.category == trace.category
+        assert loaded.hard == trace.hard
+        assert len(loaded) == len(trace)
+        assert [(r.pc, r.taken, r.preceding_instructions) for r in loaded] == [
+            (r.pc, r.taken, r.preceding_instructions) for r in trace
+        ]
+
+    def test_site_labels_preserved(self, tmp_path):
+        trace = Trace(name="t")
+        trace.append(BranchRecord(pc=8, taken=True, site="loop"))
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        assert load_trace(path).records[0].site == "loop"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_wrong_record_count_detected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"format_version": 1, "name": "x", "records": 3}\n8 1 4 a\n')
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"format_version": 99, "name": "x", "records": 0}\n')
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_malformed_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"format_version": 1, "name": "x", "records": 1}\nnot-a-record\n')
+        with pytest.raises(ValueError):
+            load_trace(path)
