@@ -8,10 +8,17 @@ run to an overnight full-suite run:
 * ``REPRO_BENCH_BRANCHES``        — branches per trace (default 3000)
 * ``REPRO_BENCH_TRACES``          — traces per category (default 1)
 * ``REPRO_BENCH_SEED``            — suite seed (default 2011)
+* ``REPRO_BENCH_WORKERS``         — suite worker processes (default 1)
+
+Experiment drivers honour the suite-runner variables too: set
+``REPRO_SUITE_WORKERS``/``REPRO_SUITE_CACHE`` to fan experiment suites out
+across processes and cache per-(spec, trace, scenario) results (see
+:class:`repro.pipeline.parallel.ParallelSuiteRunner`).
 
 For a run closer to the paper's setup use, e.g.::
 
-    REPRO_BENCH_BRANCHES=50000 REPRO_BENCH_TRACES=8 pytest benchmarks/ --benchmark-only
+    REPRO_BENCH_BRANCHES=50000 REPRO_BENCH_TRACES=8 REPRO_SUITE_WORKERS=8 \
+        pytest benchmarks/ --benchmark-only
 """
 
 from __future__ import annotations
@@ -21,11 +28,14 @@ import os
 import pytest
 
 from repro.pipeline.config import PipelineConfig
+from repro.pipeline.parallel import ParallelSuiteRunner
+from repro.predictors.registry import PredictorSpec
 from repro.traces.suite import HARD_TRACES, generate_suite, generate_trace
 
 BENCH_BRANCHES = int(os.environ.get("REPRO_BENCH_BRANCHES", "3000"))
 BENCH_TRACES_PER_CATEGORY = int(os.environ.get("REPRO_BENCH_TRACES", "1"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2011"))
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 #: Pipeline model used by the delayed-update benches: a 16-branch window
 #: keeps runtimes manageable while exhibiting every delayed-update effect.
@@ -51,6 +61,16 @@ def bench_mixed_suite():
         generate_trace(name, branches_per_trace=BENCH_BRANCHES, seed=BENCH_SEED)
         for name in hard + easy
     ]
+
+
+def suite_runner(kind: str, max_workers: int | None = None, **config) -> ParallelSuiteRunner:
+    """A :class:`ParallelSuiteRunner` for a registered predictor kind.
+
+    Benches use this to run predictor suites with the shared
+    ``REPRO_BENCH_WORKERS`` setting (default serial).
+    """
+    workers = BENCH_WORKERS if max_workers is None else max_workers
+    return ParallelSuiteRunner(PredictorSpec(kind, config), max_workers=workers)
 
 
 def run_once(benchmark, func):

@@ -3,8 +3,10 @@
 Shows the extension points of the library:
 
 * dimension a TAGE predictor from high-level knobs (``TAGEConfig.generate``),
-* attach any subset of the paper's side predictors through
-  :class:`repro.core.AugmentedTAGE`,
+* attach any subset of the paper's side predictors through the
+  ``"augmented-tage"`` registry kind (a thin front over
+  :class:`repro.core.AugmentedTAGE`; the resulting specs are picklable
+  and ready for the parallel suite runner),
 * describe a workload explicitly with the synthetic behaviour classes and
   check which behaviours each predictor variant captures.
 
@@ -17,8 +19,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.core import AugmentedTAGE, LoopPredictor, TAGEConfig
+from repro.core import LoopPredictor, TAGEConfig
 from repro.core.statistical_corrector import LocalStatisticalCorrector
+from repro.predictors.registry import create
 from repro.traces.synthetic import (
     BiasedBranch,
     GloballyCorrelatedBranch,
@@ -50,12 +53,12 @@ def main() -> None:
     print(config.describe())
 
     variants = {
-        "tage only": AugmentedTAGE(config=config, use_ium=False, name="tage"),
-        "tage + loop": AugmentedTAGE(config=config, use_ium=False,
-                                     loop_predictor=LoopPredictor(), name="tage+loop"),
-        "tage + lsc": AugmentedTAGE(config=config, use_ium=False,
-                                    local_corrector=LocalStatisticalCorrector(),
-                                    name="tage+lsc"),
+        "tage only": create("augmented-tage", config=config, use_ium=False, name="tage"),
+        "tage + loop": create("augmented-tage", config=config, use_ium=False,
+                              loop_predictor=LoopPredictor(), name="tage+loop"),
+        "tage + lsc": create("augmented-tage", config=config, use_ium=False,
+                             local_corrector=LocalStatisticalCorrector(),
+                             name="tage+lsc"),
     }
 
     # A workload with one representative of each behaviour class.

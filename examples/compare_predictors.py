@@ -5,9 +5,37 @@ and GEHL as baselines, TAGE, then TAGE augmented with the side predictors
 (L-TAGE, ISL-TAGE, TAGE-LSC), plus the neural comparators used in Figure
 10.  Prints one row per predictor with its storage and suite MPPKI.
 
+Every predictor is described as a registry spec (a registered name plus a
+config dict, see :mod:`repro.predictors.registry`), the serializable unit
+the suite machinery works with.
+
 Run with::
 
-    python examples/compare_predictors.py [branches_per_trace]
+    python examples/compare_predictors.py [branches_per_trace] [--workers N]
+
+Running suites in parallel
+--------------------------
+
+Each (predictor, trace) run is independent, so a suite fans out across
+processes.  ``--workers N`` (or ``ParallelSuiteRunner`` directly) does
+exactly that::
+
+    from repro.pipeline import ParallelSuiteRunner
+    from repro.predictors import PredictorSpec
+
+    runner = ParallelSuiteRunner(
+        PredictorSpec("tage-lsc", {"fit_512kbits": True}),
+        max_workers=8,                 # None = os.cpu_count()
+        cache_dir=".repro-cache",      # optional: skip traces already simulated
+    )
+    suite = runner.run(traces)         # same SuiteResult as the serial path
+
+Workers receive the picklable spec — never a live predictor — and build
+(or reset and reuse) their own instance, so results are identical to the
+serial ``simulate_suite`` path; the opt-in cache is keyed by (spec, trace
+content, scenario, pipeline config).  The experiment drivers in
+:mod:`repro.analysis.experiments` pick the same machinery up from the
+``REPRO_SUITE_WORKERS`` / ``REPRO_SUITE_CACHE`` environment variables.
 """
 
 from __future__ import annotations
@@ -15,41 +43,48 @@ from __future__ import annotations
 import sys
 
 from repro.analysis.reporting import format_table
-from repro.core import ISLTAGEPredictor, LTAGEPredictor, TAGELSCPredictor, TAGEPredictor
-from repro.pipeline import simulate_suite
-from repro.predictors import (
-    BimodalPredictor,
-    FTLPredictor,
-    GEHLPredictor,
-    GSharePredictor,
-    PerceptronPredictor,
-    SNAPPredictor,
-)
+from repro.pipeline import ParallelSuiteRunner
+from repro.predictors.registry import PredictorSpec
 from repro.traces import generate_suite
 
 
 def main() -> None:
-    branches = int(sys.argv[1]) if len(sys.argv) > 1 else 5_000
+    args = [arg for arg in sys.argv[1:]]
+    workers = 1
+    if "--workers" in args:
+        at = args.index("--workers")
+        try:
+            workers = int(args[at + 1])
+        except (IndexError, ValueError):
+            sys.exit("usage: compare_predictors.py [branches_per_trace] [--workers N]")
+        if workers < 1:
+            sys.exit("usage: compare_predictors.py [branches_per_trace] [--workers N >= 1]")
+        del args[at : at + 2]
+    try:
+        branches = int(args[0]) if args else 5_000
+    except ValueError:
+        sys.exit("usage: compare_predictors.py [branches_per_trace] [--workers N]")
+
     traces = generate_suite(traces_per_category=1, branches_per_trace=branches, seed=2011)
-    print(f"suite: {len(traces)} traces x {branches} branches\n")
+    print(f"suite: {len(traces)} traces x {branches} branches, {workers} worker(s)\n")
 
     families = [
-        ("bimodal 64K", lambda: BimodalPredictor(entries=32768)),
-        ("gshare 512Kb", lambda: GSharePredictor()),
-        ("perceptron", lambda: PerceptronPredictor()),
-        ("GEHL 520Kb", lambda: GEHLPredictor()),
-        ("piecewise/SNAP-like", lambda: SNAPPredictor()),
-        ("fused FTL-like", lambda: FTLPredictor()),
-        ("TAGE (reference)", lambda: TAGEPredictor()),
-        ("L-TAGE", lambda: LTAGEPredictor()),
-        ("ISL-TAGE", lambda: ISLTAGEPredictor()),
-        ("TAGE-LSC", lambda: TAGELSCPredictor(fit_512kbits=True)),
+        ("bimodal 64K", PredictorSpec("bimodal", {"entries": 32768})),
+        ("gshare 512Kb", PredictorSpec("gshare")),
+        ("perceptron", PredictorSpec("perceptron")),
+        ("GEHL 520Kb", PredictorSpec("gehl")),
+        ("piecewise/SNAP-like", PredictorSpec("snap")),
+        ("fused FTL-like", PredictorSpec("ftl")),
+        ("TAGE (reference)", PredictorSpec("tage")),
+        ("L-TAGE", PredictorSpec("l-tage")),
+        ("ISL-TAGE", PredictorSpec("isl-tage")),
+        ("TAGE-LSC", PredictorSpec("tage-lsc", {"fit_512kbits": True})),
     ]
 
     rows = []
-    for name, factory in families:
-        suite = simulate_suite(factory, traces)
-        predictor = factory()
+    for name, spec in families:
+        suite = ParallelSuiteRunner(spec, max_workers=workers).run(traces)
+        predictor = spec.build()
         rows.append([
             name,
             round(predictor.storage_bits / 1024.0, 1),

@@ -18,9 +18,9 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis.experiments import run_ium_recovery, run_update_scenarios
-from repro.core import TAGEPredictor
 from repro.hardware import PredictorCostModel
 from repro.pipeline import PipelineConfig, UpdateScenario, simulate_suite
+from repro.predictors.registry import factory
 from repro.traces import generate_suite
 
 
@@ -38,10 +38,11 @@ def main() -> None:
     print(run_ium_recovery(traces, config=pipeline).to_table())
 
     print("\n=== hardware cost of the organisations (Section 4.3) ===")
-    suite = simulate_suite(lambda: TAGEPredictor(), traces,
+    tage = factory("tage")
+    suite = simulate_suite(tage, traces,
                            scenario=UpdateScenario.REREAD_ON_MISPREDICTION, config=pipeline)
     profile = suite.access_profile
-    cost = PredictorCostModel(storage_bits=TAGEPredictor().storage_bits)
+    cost = PredictorCostModel(storage_bits=tage().storage_bits)
     print(f"accesses per retired branch under [C]: {profile.accesses_per_branch:.2f}")
     print(f"area   3-port / interleaved single-port: {cost.area_reduction:.2f}x")
     print(f"energy 3-port / interleaved single-port: {cost.energy_reduction_per_access:.2f}x")

@@ -12,7 +12,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import make_reference_tage, simulate
+from repro import simulate
+from repro.predictors.registry import create
 from repro.traces import generate_trace
 
 
@@ -20,7 +21,9 @@ def main() -> None:
     trace = generate_trace("INT03", branches_per_trace=20_000, seed=2011)
     print("trace:", trace.summary())
 
-    predictor = make_reference_tage()
+    # The registry builds any predictor family from its registered name
+    # (see repro.predictors.registry.available()).
+    predictor = create("tage")
     print("\npredictor:", predictor.name)
     print(predictor.config.describe())
 

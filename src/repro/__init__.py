@@ -47,11 +47,14 @@ from repro.core import (
     make_reference_tage_config,
 )
 from repro.pipeline import (
+    ParallelSuiteRunner,
     PipelineConfig,
+    SimulationEngine,
     SimulationResult,
     UpdateScenario,
     simulate,
     simulate_delayed,
+    simulate_suite,
 )
 from repro.predictors import (
     BimodalPredictor,
@@ -59,6 +62,7 @@ from repro.predictors import (
     GSharePredictor,
     PerceptronPredictor,
     Predictor,
+    PredictorSpec,
 )
 from repro.traces import Trace, generate_suite
 
@@ -71,9 +75,12 @@ __all__ = [
     "ISLTAGEPredictor",
     "LTAGEPredictor",
     "LoopPredictor",
+    "ParallelSuiteRunner",
     "PerceptronPredictor",
     "PipelineConfig",
     "Predictor",
+    "PredictorSpec",
+    "SimulationEngine",
     "SimulationResult",
     "StatisticalCorrector",
     "TAGEConfig",
@@ -86,5 +93,6 @@ __all__ = [
     "make_reference_tage_config",
     "simulate",
     "simulate_delayed",
+    "simulate_suite",
     "__version__",
 ]

@@ -6,28 +6,32 @@ paper).  They all take a list of traces so that tests can use tiny suites
 and the benchmark harness can use larger ones, and they all return an
 :class:`ExperimentTable` whose rows are plain Python values, ready to be
 printed, asserted on, or dumped to EXPERIMENTS.md.
+
+Predictors are described as registry specs
+(:class:`~repro.predictors.registry.PredictorSpec`), so every experiment
+can transparently fan its suites out with
+:class:`~repro.pipeline.parallel.ParallelSuiteRunner`: set
+``REPRO_SUITE_WORKERS`` (worker processes, default 1 = serial) and
+optionally ``REPRO_SUITE_CACHE`` (a directory for the per-(spec, trace,
+scenario) result cache).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.analysis.reporting import format_table
-from repro.analysis.sweep import scaled_tage, scaled_tage_lsc
-from repro.core.augmented import AugmentedTAGE, RetireReadScope
-from repro.core.composed import ISLTAGEPredictor, LTAGEPredictor, TAGELSCPredictor
+from repro.core.augmented import RetireReadScope
 from repro.core.config import make_reference_tage_config
 from repro.core.tage import TAGEPredictor
 from repro.hardware.cacti import PredictorCostModel
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.metrics import SuiteResult
+from repro.pipeline.parallel import ParallelSuiteRunner
 from repro.pipeline.scenarios import UpdateScenario
 from repro.pipeline.simulator import simulate_suite
-from repro.predictors.ftl import FTLPredictor
-from repro.predictors.gehl import GEHLPredictor
-from repro.predictors.gshare import GSharePredictor
-from repro.predictors.snap import SNAPPredictor
+from repro.predictors.registry import PredictorSpec
 from repro.traces.suite import HARD_TRACES
 from repro.traces.trace import Trace
 
@@ -79,9 +83,23 @@ class ExperimentTable:
         raise KeyError(f"no row with key {key!r} in experiment {self.experiment!r}")
 
 
-def _suite(factory: Callable, traces: list[Trace], scenario=UpdateScenario.IMMEDIATE,
+def _suite_workers() -> int:
+    """Worker processes for experiment suites (``REPRO_SUITE_WORKERS``, default 1)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SUITE_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def _suite(spec: PredictorSpec, traces: list[Trace], scenario=UpdateScenario.IMMEDIATE,
            config: PipelineConfig | None = None) -> SuiteResult:
-    return simulate_suite(factory, traces, scenario=scenario, config=config)
+    """Run one predictor spec over the traces, serially or via the pool."""
+    workers = _suite_workers()
+    cache_dir = os.environ.get("REPRO_SUITE_CACHE") or None
+    if workers > 1 or cache_dir:
+        runner = ParallelSuiteRunner(spec, max_workers=workers, cache_dir=cache_dir)
+        return runner.run(traces, scenario=scenario, config=config)
+    return simulate_suite(spec.build, traces, scenario=scenario, config=config)
 
 
 # ---------------------------------------------------------------------------
@@ -96,13 +114,13 @@ def run_access_counts(traces: list[Trace]) -> ExperimentTable:
                  "accesses/branch", "mppki"],
         paper_reference="TAGE 2.17 & 9.06, GEHL 1.94 & 9.10, gshare 1.54 & 9.61",
     )
-    factories = [
-        ("tage", lambda: TAGEPredictor()),
-        ("gehl", lambda: GEHLPredictor()),
-        ("gshare", lambda: GSharePredictor()),
+    specs = [
+        ("tage", PredictorSpec("tage")),
+        ("gehl", PredictorSpec("gehl")),
+        ("gshare", PredictorSpec("gshare")),
     ]
-    for name, factory in factories:
-        suite = _suite(factory, traces)
+    for name, spec in specs:
+        suite = _suite(spec, traces)
         profile = suite.access_profile
         table.add_row(
             name,
@@ -131,20 +149,20 @@ def run_update_scenarios(
             "gshare 944/970/1292/1011, GEHL 664/685/801/744, TAGE 609/617/640/625"
         ),
     )
-    factories = [("gshare", lambda: GSharePredictor())]
+    specs = [("gshare", PredictorSpec("gshare"))]
     if include_gehl:
-        factories.append(("gehl", lambda: GEHLPredictor()))
-    factories.append(("tage", lambda: TAGEPredictor()))
+        specs.append(("gehl", PredictorSpec("gehl")))
+    specs.append(("tage", PredictorSpec("tage")))
     scenarios = [
         UpdateScenario.IMMEDIATE,
         UpdateScenario.REREAD_AT_RETIRE,
         UpdateScenario.FETCH_READ_ONLY,
         UpdateScenario.REREAD_ON_MISPREDICTION,
     ]
-    for name, factory in factories:
+    for name, spec in specs:
         row = [name]
         for scenario in scenarios:
-            row.append(_suite(factory, traces, scenario=scenario, config=config).mppki)
+            row.append(_suite(spec, traces, scenario=scenario, config=config).mppki)
         table.rows.append(row)
     return table
 
@@ -163,15 +181,10 @@ def run_bank_interleaving(
         paper_reference="627 vs 625 MPPKI; 3.3x area and 2x energy reduction",
     )
     scenario = UpdateScenario.REREAD_ON_MISPREDICTION
-
-    def plain() -> TAGEPredictor:
-        return TAGEPredictor()
-
-    def interleaved() -> AugmentedTAGE:
-        predictor = AugmentedTAGE(use_ium=False, name="tage-interleaved")
-        predictor.enable_bank_interleaving()
-        return predictor
-
+    plain = PredictorSpec("tage")
+    interleaved = PredictorSpec(
+        "augmented-tage", {"use_ium": False, "name": "tage-interleaved", "interleaved": True}
+    )
     plain_suite = _suite(plain, traces, scenario=scenario, config=config)
     inter_suite = _suite(interleaved, traces, scenario=scenario, config=config)
     cost = PredictorCostModel(storage_bits=TAGEPredictor().storage_bits)
@@ -207,15 +220,15 @@ def run_ium_recovery(
         UpdateScenario.FETCH_READ_ONLY,
         UpdateScenario.REREAD_ON_MISPREDICTION,
     ]
-    factories = [
-        ("tage", lambda: TAGEPredictor()),
-        ("tage+ium", lambda: AugmentedTAGE(use_ium=True, name="tage+ium")),
+    specs = [
+        ("tage", PredictorSpec("tage")),
+        ("tage+ium", PredictorSpec("augmented-tage", {"use_ium": True, "name": "tage+ium"})),
     ]
-    for name, factory in factories:
+    for name, spec in specs:
         row = [name]
         overrides = 0
         for scenario in scenarios:
-            suite = _suite(factory, traces, scenario=scenario, config=config)
+            suite = _suite(spec, traces, scenario=scenario, config=config)
             row.append(suite.mppki)
             overrides += sum(result.ium_overrides for result in suite.results)
         row.append(overrides)
@@ -242,18 +255,18 @@ def run_side_predictor_stack(traces: list[Trace]) -> ExperimentTable:
             "TAGE-LSC 555-562, ISL-TAGE(512Kb) 581"
         ),
     )
-    factories = [
-        ("tage", lambda: TAGEPredictor()),
-        ("tage+ium", lambda: AugmentedTAGE(use_ium=True, name="tage+ium")),
-        ("l-tage (tage+loop)", lambda: LTAGEPredictor()),
-        ("tage+ium+loop", lambda: ISLTAGEPredictor(use_sc=False)),
-        ("isl-tage (tage+ium+loop+sc)", lambda: ISLTAGEPredictor()),
-        ("tage-lsc (tage+ium+lsc)", lambda: TAGELSCPredictor(fit_512kbits=True)),
-        ("tage+ium+loop+sc+lsc", lambda: TAGELSCPredictor(use_loop=True, use_sc=True)),
+    specs = [
+        ("tage", PredictorSpec("tage")),
+        ("tage+ium", PredictorSpec("augmented-tage", {"use_ium": True, "name": "tage+ium"})),
+        ("l-tage (tage+loop)", PredictorSpec("l-tage")),
+        ("tage+ium+loop", PredictorSpec("isl-tage", {"use_sc": False})),
+        ("isl-tage (tage+ium+loop+sc)", PredictorSpec("isl-tage")),
+        ("tage-lsc (tage+ium+lsc)", PredictorSpec("tage-lsc", {"fit_512kbits": True})),
+        ("tage+ium+loop+sc+lsc", PredictorSpec("tage-lsc", {"use_loop": True, "use_sc": True})),
     ]
-    for name, factory in factories:
-        suite = _suite(factory, traces)
-        predictor = factory()
+    for name, spec in specs:
+        suite = _suite(spec, traces)
+        predictor = spec.build()
         table.add_row(name, suite.mppki, suite.mispredictions,
                       round(predictor.storage_bits / 1024.0, 1))
     return table
@@ -285,7 +298,7 @@ def run_history_robustness(traces: list[Trace]) -> ExperimentTable:
             num_tagged_tables=5, min_history=6, max_history=500, base_log2_entries=13)),
     ]
     for name, config in variants:
-        suite = _suite(lambda config=config: TAGELSCPredictor(config=config), traces)
+        suite = _suite(PredictorSpec("tage-lsc", {"config": config}), traces)
         table.add_row(name, suite.mppki)
     return table
 
@@ -308,13 +321,15 @@ def run_fig9_size_sweep(
     )
     factors = log2_factors if log2_factors is not None else [-2, -1, 0, 1, 2, 3]
     for factor in factors:
-        tage_suite = _suite(lambda factor=factor: scaled_tage(factor), traces)
-        lsc_suite = _suite(lambda factor=factor: scaled_tage_lsc(factor), traces)
+        tage_spec = PredictorSpec("scaled-tage", {"log2_factor": factor})
+        lsc_spec = PredictorSpec("scaled-tage-lsc", {"log2_factor": factor})
+        tage_suite = _suite(tage_spec, traces)
+        lsc_suite = _suite(lsc_spec, traces)
         table.add_row(
             factor,
-            round(scaled_tage(factor).storage_bits / 1024.0),
+            round(tage_spec.build().storage_bits / 1024.0),
             tage_suite.mppki,
-            round(scaled_tage_lsc(factor).storage_bits / 1024.0),
+            round(lsc_spec.build().storage_bits / 1024.0),
             lsc_suite.mppki,
         )
     return table
@@ -334,15 +349,15 @@ def run_fig10_hard_traces(traces: list[Trace]) -> ExperimentTable:
             "easy: ISL 196, TAGE-LSC 198, OH-SNAP 254, FTL++ 232"
         ),
     )
-    factories = [
-        ("isl-tage", lambda: ISLTAGEPredictor()),
-        ("tage-lsc", lambda: TAGELSCPredictor(fit_512kbits=True)),
-        ("oh-snap-like", lambda: SNAPPredictor()),
-        ("ftl-like", lambda: FTLPredictor()),
+    specs = [
+        ("isl-tage", PredictorSpec("isl-tage")),
+        ("tage-lsc", PredictorSpec("tage-lsc", {"fit_512kbits": True})),
+        ("oh-snap-like", PredictorSpec("snap")),
+        ("ftl-like", PredictorSpec("ftl")),
     ]
     hard_names = {trace.name for trace in traces if trace.hard or trace.name in HARD_TRACES}
-    for name, factory in factories:
-        suite = _suite(factory, traces)
+    for name, spec in specs:
+        suite = _suite(spec, traces)
         hard = suite.subset(hard_names)
         easy = suite.subset({trace.name for trace in traces} - hard_names)
         table.add_row(name, hard.mppki, easy.mppki, suite.mppki)
@@ -366,15 +381,13 @@ def run_cost_effective(
         ),
     )
 
-    def baseline() -> TAGELSCPredictor:
-        return TAGELSCPredictor(fit_512kbits=True)
+    baseline = PredictorSpec("tage-lsc", {"fit_512kbits": True})
 
-    def interleaved(scope: str = RetireReadScope.ALL) -> Callable[[], TAGELSCPredictor]:
-        def build() -> TAGELSCPredictor:
-            predictor = TAGELSCPredictor(fit_512kbits=True, retire_read_scope=scope)
-            predictor.enable_bank_interleaving()
-            return predictor
-        return build
+    def interleaved(scope: str = RetireReadScope.ALL) -> PredictorSpec:
+        return PredictorSpec(
+            "tage-lsc",
+            {"fit_512kbits": True, "retire_read_scope": scope, "interleaved": True},
+        )
 
     rows = [
         ("3-port, reread at retire", baseline, UpdateScenario.REREAD_AT_RETIRE),
@@ -387,8 +400,8 @@ def run_cost_effective(
          interleaved(RetireReadScope.LOCAL_ONLY), UpdateScenario.REREAD_ON_MISPREDICTION),
         ("interleaved, fetch-time read only [B]", interleaved(), UpdateScenario.FETCH_READ_ONLY),
     ]
-    for name, factory, scenario in rows:
-        suite = _suite(factory, traces, scenario=scenario, config=config)
+    for name, spec, scenario in rows:
+        suite = _suite(spec, traces, scenario=scenario, config=config)
         table.add_row(name, scenario.label, suite.mppki)
     return table
 
@@ -404,7 +417,7 @@ def run_suite_characteristics(traces: list[Trace]) -> ExperimentTable:
         headers=["group", "traces", "mispredictions", "share", "mppki"],
         paper_reference="the 7 hard traces carry ~3/4 of all mispredictions",
     )
-    suite = _suite(lambda: LTAGEPredictor(), traces)
+    suite = _suite(PredictorSpec("l-tage"), traces)
     hard_names = {trace.name for trace in traces if trace.hard or trace.name in HARD_TRACES}
     hard = suite.subset(hard_names)
     easy = suite.subset({trace.name for trace in traces} - hard_names)

@@ -4,6 +4,13 @@ Figure 9 scales TAGE and TAGE-LSC from 128 Kbits to 32 Mbits "just by
 scaling the sizes of all the components by a power of two".  These helpers
 produce the scaled configurations/predictors for a given power-of-two
 factor relative to the reference (~512 Kbit-class) predictor.
+
+They are also exposed through the predictor registry as the
+``scaled-tage`` and ``scaled-tage-lsc`` kinds (config key
+``log2_factor``), so sweeps can be described as picklable specs and fanned
+out with :class:`~repro.pipeline.parallel.ParallelSuiteRunner`::
+
+    PredictorSpec("scaled-tage-lsc", {"log2_factor": 2})
 """
 
 from __future__ import annotations

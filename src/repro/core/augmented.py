@@ -319,6 +319,12 @@ class AugmentedTAGE(Predictor):
             self.loop.reset()
         if self.sc is not None:
             self.sc.reset()
+            if self.sc._core.bank_selector is not None:
+                self.sc._core.bank_selector.reset()
         if self.lsc is not None:
             self.lsc.reset()
+            if self.lsc._core.bank_selector is not None:
+                self.lsc._core.bank_selector.reset()
+        if self._shared_bank_selector is not None:
+            self._shared_bank_selector.reset()
         self.with_loop = SaturatingCounter(bits=7, signed=True, value=-1)

@@ -387,6 +387,8 @@ class TAGEPredictor(Predictor):
         self.use_alt_on_na.set(0)
         self.allocation_tick.set(0)
         self.useful_resets = 0
+        if self.bank_selector is not None:
+            self.bank_selector.reset()
 
 
 def make_reference_tage() -> TAGEPredictor:

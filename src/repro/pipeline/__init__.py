@@ -1,8 +1,25 @@
-"""Pipeline model: delayed predictor update and the paper's scenarios.
+"""Pipeline layer: the staged simulation engine and the paper's scenarios.
 
 On real hardware the predictor tables are updated when a branch retires,
-many cycles after the prediction was made.  This subpackage provides:
+many cycles after the prediction was made.  This subpackage models that
+with one staged machine and the suite-level drivers built on top of it:
 
+* :class:`~repro.pipeline.engine.SimulationEngine` — **the** simulation
+  core: an explicit fetch → execute → retire loop over the in-flight
+  branch window.  The oracle immediate update of scenario [I] is the
+  degenerate zero-delay configuration (window depth zero, update from
+  fresh values at fetch), so every scenario shares one code path,
+* :func:`~repro.pipeline.simulator.simulate` /
+  :func:`~repro.pipeline.simulator.simulate_delayed` — thin compatibility
+  wrappers over the engine, preserved because experiments and papers
+  reference them,
+* :func:`~repro.pipeline.simulator.simulate_suite` — one predictor
+  configuration over a trace suite, resetting and reusing a single
+  predictor instance when the predictor supports ``reset()``,
+* :class:`~repro.pipeline.parallel.ParallelSuiteRunner` — the same suite
+  semantics fanned out over a process pool; workers receive picklable
+  predictor *specs* (see :mod:`repro.predictors.registry`), and an opt-in
+  on-disk cache skips (spec, trace, scenario) runs already simulated,
 * :class:`~repro.pipeline.scenarios.UpdateScenario` — the four update
   policies compared in Section 4.1.2 ([I] oracle immediate update, [A]
   re-read at retire, [B] fetch-time read only, [C] re-read only on
@@ -10,22 +27,24 @@ many cycles after the prediction was made.  This subpackage provides:
 * :class:`~repro.pipeline.config.PipelineConfig` — the in-flight window
   model (how many branches separate fetch, execute and retire) and the
   misprediction penalty used by the MPPKI metric,
-* :func:`~repro.pipeline.simulator.simulate` /
-  :func:`~repro.pipeline.simulator.simulate_delayed` — the trace-driven
-  simulation loops,
 * :class:`~repro.pipeline.metrics.SimulationResult` and
   :class:`~repro.pipeline.metrics.SuiteResult` — accuracy and access
   metrics, including MPKI and the CBP-3 MPPKI.
 """
 
 from repro.pipeline.config import PipelineConfig
+from repro.pipeline.engine import SimulationEngine
 from repro.pipeline.metrics import SimulationResult, SuiteResult
+from repro.pipeline.parallel import ParallelSuiteRunner, SuiteCache
 from repro.pipeline.scenarios import UpdateScenario
 from repro.pipeline.simulator import simulate, simulate_delayed, simulate_suite
 
 __all__ = [
+    "ParallelSuiteRunner",
     "PipelineConfig",
+    "SimulationEngine",
     "SimulationResult",
+    "SuiteCache",
     "SuiteResult",
     "UpdateScenario",
     "simulate",

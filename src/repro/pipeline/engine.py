@@ -1,0 +1,179 @@
+"""The staged simulation engine.
+
+Every simulation in this package — the oracle immediate-update runs of the
+accuracy experiments and the delayed-update runs of the Section 4/5
+pipeline studies — is one instance of the same machine: branches are
+*fetched* (predicted and entered into the in-flight window), *execute*
+(their outcome becomes visible to the out-of-order core) and *retire*
+(their table update is applied under the selected
+:class:`~repro.pipeline.scenarios.UpdateScenario`).
+
+:class:`SimulationEngine` models those three stages explicitly, driven by
+one loop.  The oracle immediate update of scenario [I] is the degenerate
+zero-delay case: the in-flight window has depth zero, so a branch retires
+in the same step it is fetched, its update always runs from fresh table
+values, and — because the update happens at fetch time — no retire-time
+read is charged and the execute stage never runs (the outcome is already
+known by assumption).
+
+The per-branch stage order exactly reproduces the historical ``simulate``
+and ``simulate_delayed`` loops (which are now thin wrappers over this
+engine, see :mod:`repro.pipeline.simulator`):
+
+1. **fetch** — ``predict``, accuracy accounting, ``update_history``,
+   window entry;
+2. **execute** — the branch ``execute_delay`` slots back resolves and is
+   announced through ``notify_execute`` (IUM hook);
+3. **retire** — while the window is over-full, the oldest branch retires:
+   a late ``notify_execute`` if it never reached the execute stage, then
+   ``update`` with the scenario's reread policy.
+
+At end-of-trace the window is drained through the same retire stage, so
+in-flight branches are never dropped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.hardware.access_counter import AccessProfile
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.metrics import SimulationResult
+from repro.pipeline.scenarios import UpdateScenario
+from repro.predictors.base import Predictor
+from repro.traces.trace import BranchRecord, Trace
+
+__all__ = ["SimulationEngine"]
+
+
+def _ium_overrides(predictor: Predictor) -> int:
+    """Number of IUM overrides performed so far, when the predictor has an IUM."""
+    ium = getattr(predictor, "ium", None)
+    return getattr(ium, "overrides", 0) if ium is not None else 0
+
+
+class _InflightEntry:
+    """One branch between fetch and retire."""
+
+    __slots__ = ("record", "info", "mispredicted", "executed")
+
+    def __init__(self, record: BranchRecord, info, mispredicted: bool) -> None:
+        self.record = record
+        self.info = info
+        self.mispredicted = mispredicted
+        self.executed = False
+
+
+class SimulationEngine:
+    """One staged fetch → execute → retire loop over a trace.
+
+    Parameters
+    ----------
+    predictor:
+        The predictor under test; it is driven through the standard
+        predict → update_history → [notify_execute] → update protocol.
+    scenario:
+        Update scenario.  :attr:`UpdateScenario.IMMEDIATE` selects the
+        zero-delay oracle configuration; the other scenarios use the
+        ``config`` in-flight window and their retire-time read policy.
+    config:
+        Pipeline window model and misprediction penalty.
+
+    An engine is single-threaded and not reentrant; build one per
+    (predictor, trace) run, or call :meth:`run` sequentially.
+    """
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        scenario: UpdateScenario = UpdateScenario.IMMEDIATE,
+        config: PipelineConfig | None = None,
+    ) -> None:
+        self.predictor = predictor
+        self.scenario = scenario
+        self.config = config or PipelineConfig()
+        immediate = scenario is UpdateScenario.IMMEDIATE
+        self._immediate = immediate
+        #: Window depth: zero collapses retire into the fetch step.
+        self._retire_delay = 0 if immediate else self.config.retire_delay
+        #: The execute stage only exists when updates are actually delayed
+        #: (under the oracle the outcome is known at fetch by assumption).
+        self._execute_delay = None if immediate else self.config.execute_delay
+        self._window: deque[_InflightEntry] = deque()
+        self._accesses = AccessProfile()
+        self._mispredictions = 0
+
+    # -- stages ---------------------------------------------------------------
+
+    def _fetch(self, record: BranchRecord) -> None:
+        """Fetch stage: predict, account, advance speculative history."""
+        predictor = self.predictor
+        info = predictor.predict(record.pc)
+        mispredicted = info.taken != record.taken
+        if mispredicted:
+            self._mispredictions += 1
+        self._accesses.record_prediction(mispredicted)
+        predictor.update_history(record.pc, record.taken, info)
+        self._window.append(_InflightEntry(record, info, mispredicted))
+
+    def _execute(self) -> None:
+        """Execute stage: the branch ``execute_delay`` slots back resolves."""
+        delay = self._execute_delay
+        if delay is None or len(self._window) <= delay:
+            return
+        entry = self._window[-1 - delay]
+        if not entry.executed:
+            self.predictor.notify_execute(entry.record.pc, entry.record.taken, entry.info)
+            entry.executed = True
+
+    def _retire(self, entry: _InflightEntry) -> None:
+        """Retire stage: apply the table update under the scenario's policy."""
+        record = entry.record
+        if self._immediate:
+            # Zero-delay oracle: the update runs at fetch time from fresh
+            # table values, so no separate retire-time read is charged.
+            stats = self.predictor.update(record.pc, record.taken, entry.info, reread=True)
+            self._accesses.record_update(stats, retire_read=False)
+            return
+        if not entry.executed:
+            self.predictor.notify_execute(record.pc, record.taken, entry.info)
+        reread = self.scenario.reread_at_retire(entry.mispredicted)
+        stats = self.predictor.update(record.pc, record.taken, entry.info, reread=reread)
+        self._accesses.record_update(stats, retire_read=reread)
+
+    def _retire_ready(self) -> None:
+        """Retire every branch past the window depth (oldest first)."""
+        while len(self._window) > self._retire_delay:
+            self._retire(self._window.popleft())
+
+    def _drain(self) -> None:
+        """End-of-trace: retire every branch still in flight."""
+        while self._window:
+            self._retire(self._window.popleft())
+
+    # -- driving --------------------------------------------------------------
+
+    def run(self, trace: Trace) -> SimulationResult:
+        """Drive the staged loop over ``trace`` and return its metrics."""
+        self._window.clear()
+        self._accesses = AccessProfile()
+        self._mispredictions = 0
+        overrides_before = _ium_overrides(self.predictor)
+
+        for record in trace:
+            self._fetch(record)
+            self._execute()
+            self._retire_ready()
+        self._drain()
+
+        return SimulationResult(
+            trace_name=trace.name,
+            predictor_name=self.predictor.name,
+            branches=trace.branch_count,
+            instructions=trace.instruction_count,
+            mispredictions=self._mispredictions,
+            misprediction_penalty=self.config.misprediction_penalty,
+            accesses=self._accesses,
+            scenario=self.scenario.label,
+            ium_overrides=_ium_overrides(self.predictor) - overrides_before,
+        )

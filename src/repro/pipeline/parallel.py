@@ -1,0 +1,247 @@
+"""Parallel suite execution.
+
+A full experiment sweeps one predictor configuration over dozens of
+traces; each (predictor, trace) run is independent, so the suite is
+embarrassingly parallel.  :class:`ParallelSuiteRunner` fans
+:func:`~repro.pipeline.simulator.simulate_suite`-style work out across a
+process pool:
+
+* workers receive a picklable
+  :class:`~repro.predictors.registry.PredictorSpec` — never a live
+  predictor — and build (or :meth:`~repro.predictors.base.Predictor.reset`
+  and reuse) their own instance per process,
+* results come back as plain :class:`~repro.pipeline.metrics.SimulationResult`
+  values and are aggregated in trace order, so the
+  :class:`~repro.pipeline.metrics.SuiteResult` is identical to the serial
+  path's,
+* an opt-in on-disk cache keyed by (spec, trace, scenario, pipeline
+  config) lets repeated sweeps skip traces they have already simulated.
+
+With ``max_workers=1`` (or a single trace) the runner degrades to the
+serial in-process loop, which keeps it usable on single-core boxes and
+inside already-parallel harnesses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.engine import SimulationEngine
+from repro.pipeline.metrics import SimulationResult, SuiteResult
+from repro.pipeline.scenarios import UpdateScenario
+from repro.predictors.base import Predictor
+from repro.predictors.registry import PredictorSpec, spec_of
+from repro.traces.trace import Trace
+
+__all__ = ["ParallelSuiteRunner", "SuiteCache", "trace_fingerprint"]
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """A content digest of a trace (used by the result cache key).
+
+    Hashes the full (pc, taken, preceding_instructions) stream, so two
+    traces with the same name but different generator parameters never
+    share a cache entry.
+    """
+    digest = hashlib.sha256()
+    digest.update(trace.name.encode())
+    for record in trace:
+        digest.update(
+            b"%d,%d,%d;" % (record.pc, 1 if record.taken else 0, record.preceding_instructions)
+        )
+    return digest.hexdigest()[:32]
+
+
+class SuiteCache:
+    """On-disk cache of per-(spec, trace, scenario, config) simulation results.
+
+    One pickle file per result under ``directory``.  The key includes a
+    content fingerprint of the trace, so regenerating a suite with
+    different lengths or seeds never produces stale hits.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    @staticmethod
+    def key(
+        spec: PredictorSpec,
+        trace: Trace,
+        scenario: UpdateScenario,
+        config: PipelineConfig,
+    ) -> str:
+        """Stable cache key for one (spec, trace, scenario, config) run.
+
+        The package version is part of the key, so entries written by an
+        older (possibly differently-behaving) build of the predictors or
+        the engine are never served after an upgrade.
+        """
+        import repro
+
+        raw = "|".join(
+            (
+                repro.__version__,
+                spec.cache_key(),
+                trace_fingerprint(trace),
+                scenario.value,
+                f"{config.retire_delay},{config.execute_delay},{config.misprediction_penalty}",
+            )
+        )
+        return hashlib.sha256(raw.encode()).hexdigest()[:40]
+
+    def get(self, key: str) -> SimulationResult | None:
+        """Return the cached result for ``key``, or None."""
+        path = self._path(key)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store one result (atomic rename so readers never see partials)."""
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(result, handle)
+        os.replace(tmp, path)
+
+
+#: Per-process predictor instances, keyed by spec, reused via ``reset()``
+#: across the tasks a pool worker executes (building a large TAGE-LSC is
+#: far more expensive than resetting one).  Bounded because the serial
+#: fallback runs in the long-lived driving process, where a sweep over
+#: many specs would otherwise pin one multi-megabit predictor per spec.
+_WORKER_PREDICTORS: dict[PredictorSpec, Predictor] = {}
+_WORKER_PREDICTOR_LIMIT = 4
+
+
+def _predictor_for(spec: PredictorSpec) -> Predictor:
+    """Build or reset-and-reuse this process's predictor for ``spec``."""
+    predictor = _WORKER_PREDICTORS.pop(spec, None)
+    if predictor is None:
+        predictor = spec.build()
+    else:
+        try:
+            predictor.reset()
+        except NotImplementedError:
+            predictor = spec.build()
+    while len(_WORKER_PREDICTORS) >= _WORKER_PREDICTOR_LIMIT:
+        _WORKER_PREDICTORS.pop(next(iter(_WORKER_PREDICTORS)))
+    _WORKER_PREDICTORS[spec] = predictor
+    return predictor
+
+
+def _simulate_one(task: tuple) -> SimulationResult:
+    """Pool worker: simulate one (spec, trace, scenario, config) run."""
+    spec, trace, scenario, config = task
+    predictor = _predictor_for(spec)
+    return SimulationEngine(predictor, scenario, config).run(trace)
+
+
+@dataclass
+class ParallelSuiteRunner:
+    """Runs one predictor spec over a trace suite with a process pool.
+
+    Parameters
+    ----------
+    spec:
+        What to simulate: a :class:`~repro.predictors.registry.PredictorSpec`,
+        a registered kind name (``"tage"``), or an already-built
+        registry predictor (its spec is extracted).
+    max_workers:
+        Process count; ``None`` means ``os.cpu_count()``.  With one worker
+        (or one trace) everything runs in-process.
+    cache_dir:
+        Opt-in result cache directory; ``None`` disables caching.
+
+    The aggregates of the returned
+    :class:`~repro.pipeline.metrics.SuiteResult` are identical to the
+    serial :func:`~repro.pipeline.simulator.simulate_suite` path — workers
+    run the same :class:`~repro.pipeline.engine.SimulationEngine` on the
+    same power-on-state predictors, and results are collected in trace
+    order.
+    """
+
+    spec: PredictorSpec
+    max_workers: int | None = None
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.spec, str):
+            self.spec = PredictorSpec(self.spec)
+        elif isinstance(self.spec, Predictor):
+            self.spec = spec_of(self.spec)
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.cache = SuiteCache(self.cache_dir) if self.cache_dir else None
+
+    def _workers_for(self, pending: int) -> int:
+        limit = self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
+        return max(1, min(limit, pending))
+
+    def run(
+        self,
+        traces: list[Trace],
+        scenario: UpdateScenario = UpdateScenario.IMMEDIATE,
+        config: PipelineConfig | None = None,
+    ) -> SuiteResult:
+        """Simulate the spec over every trace and aggregate in trace order."""
+        if not traces:
+            raise ValueError("ParallelSuiteRunner.run needs at least one trace")
+        config = config or PipelineConfig()
+
+        slots: list[SimulationResult | None] = [None] * len(traces)
+        pending: list[tuple[int, Trace]] = []
+        keys: dict[int, str] = {}
+        if self.cache is not None:
+            for position, trace in enumerate(traces):
+                key = self.cache.key(self.spec, trace, scenario, config)
+                keys[position] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    slots[position] = cached
+                else:
+                    pending.append((position, trace))
+        else:
+            pending = list(enumerate(traces))
+
+        if pending:
+            workers = self._workers_for(len(pending))
+            tasks = [(self.spec, trace, scenario, config) for _, trace in pending]
+            if workers == 1:
+                fresh = map(_simulate_one, tasks)
+            else:
+                executor = ProcessPoolExecutor(max_workers=workers)
+                try:
+                    fresh = list(executor.map(_simulate_one, tasks))
+                finally:
+                    executor.shutdown()
+            for (position, _), result in zip(pending, fresh):
+                slots[position] = result
+                if self.cache is not None:
+                    self.cache.put(keys[position], result)
+
+        name = slots[0].predictor_name if slots and slots[0] else self.spec.kind
+        suite = SuiteResult(predictor_name=name)
+        for result in slots:
+            assert result is not None
+            suite.add(result)
+        return suite

@@ -1,6 +1,10 @@
-"""Trace-driven simulation loops.
+"""Compatibility wrappers over the staged simulation engine.
 
-Two simulation modes are provided:
+Historically this module held two near-duplicate per-branch loops; both
+are now thin entry points into
+:class:`~repro.pipeline.engine.SimulationEngine`, which models fetch →
+execute → retire explicitly with the immediate-update oracle as the
+degenerate zero-delay case:
 
 * :func:`simulate` — oracle immediate update (the paper's scenario [I]):
   every branch is predicted, then its tables are updated right away.  This
@@ -13,29 +17,25 @@ Two simulation modes are provided:
   younger branches, and the retire-time read policy follows the selected
   :class:`~repro.pipeline.scenarios.UpdateScenario`.
 
-Both loops drive the :class:`~repro.predictors.base.Predictor` interface
-(predict → update_history → [notify_execute] → update) and accumulate the
-accuracy and access metrics the experiments report.
+:func:`simulate_suite` runs one predictor configuration over a whole
+trace suite, reusing a single :meth:`~repro.predictors.base.Predictor.reset`
+predictor instance when the predictor supports it (traces still never warm
+each other up — the CBP rule).  For multi-process suite execution see
+:class:`~repro.pipeline.parallel.ParallelSuiteRunner`.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from typing import Callable
 
-from repro.hardware.access_counter import AccessProfile
 from repro.pipeline.config import PipelineConfig
+from repro.pipeline.engine import SimulationEngine
 from repro.pipeline.metrics import SimulationResult, SuiteResult
 from repro.pipeline.scenarios import UpdateScenario
-from repro.predictors.base import PredictionInfo, Predictor
-from repro.traces.trace import BranchRecord, Trace
+from repro.predictors.base import Predictor
+from repro.traces.trace import Trace
 
 __all__ = ["simulate", "simulate_delayed", "simulate_suite"]
-
-
-def _ium_overrides(predictor: Predictor) -> int:
-    """Number of IUM overrides performed so far, when the predictor has an IUM."""
-    ium = getattr(predictor, "ium", None)
-    return getattr(ium, "overrides", 0) if ium is not None else 0
 
 
 def simulate(
@@ -49,32 +49,7 @@ def simulate(
     the tables are updated immediately (scenario [I]).  Returns the
     accuracy and access metrics of the run.
     """
-    config = config or PipelineConfig()
-    accesses = AccessProfile()
-    mispredictions = 0
-    overrides_before = _ium_overrides(predictor)
-
-    for record in trace:
-        info = predictor.predict(record.pc)
-        mispredicted = info.taken != record.taken
-        if mispredicted:
-            mispredictions += 1
-        accesses.record_prediction(mispredicted)
-        predictor.update_history(record.pc, record.taken, info)
-        stats = predictor.update(record.pc, record.taken, info, reread=True)
-        accesses.record_update(stats, retire_read=False)
-
-    return SimulationResult(
-        trace_name=trace.name,
-        predictor_name=predictor.name,
-        branches=trace.branch_count,
-        instructions=trace.instruction_count,
-        mispredictions=mispredictions,
-        misprediction_penalty=config.misprediction_penalty,
-        accesses=accesses,
-        scenario=UpdateScenario.IMMEDIATE.label,
-        ium_overrides=_ium_overrides(predictor) - overrides_before,
-    )
+    return SimulationEngine(predictor, UpdateScenario.IMMEDIATE, config).run(trace)
 
 
 def simulate_delayed(
@@ -92,79 +67,96 @@ def simulate_delayed(
     retires — triggering the table update under the chosen ``scenario`` —
     once ``config.retire_delay`` younger branches have been fetched.
 
-    Scenario [I] is accepted for convenience and simply dispatches to
-    :func:`simulate`.
+    Scenario [I] is accepted for convenience and runs the engine in its
+    zero-delay oracle configuration, exactly like :func:`simulate`.
     """
-    if scenario is UpdateScenario.IMMEDIATE:
-        return simulate(predictor, trace, config)
+    return SimulationEngine(predictor, scenario, config).run(trace)
 
-    config = config or PipelineConfig()
-    accesses = AccessProfile()
-    mispredictions = 0
-    overrides_before = _ium_overrides(predictor)
 
-    # Each in-flight element is (record, info, mispredicted, executed_flag).
-    inflight: deque[list] = deque()
+def _supports_reset(predictor: Predictor) -> bool:
+    """Whether ``predictor.reset()`` is implemented (probed by calling it)."""
+    try:
+        predictor.reset()
+    except NotImplementedError:
+        return False
+    return True
 
-    def retire(entry: list) -> None:
-        nonlocal mispredictions
-        record, info, mispredicted, executed = entry
-        if not executed:
-            predictor.notify_execute(record.pc, record.taken, info)
-        reread = scenario.reread_at_retire(mispredicted)
-        stats = predictor.update(record.pc, record.taken, info, reread=reread)
-        accesses.record_update(stats, retire_read=reread)
 
-    for record in trace:
-        info = predictor.predict(record.pc)
-        mispredicted = info.taken != record.taken
-        if mispredicted:
-            mispredictions += 1
-        accesses.record_prediction(mispredicted)
-        predictor.update_history(record.pc, record.taken, info)
-        inflight.append([record, info, mispredicted, False])
+class _PredictorProvider:
+    """Hands out a power-on-state predictor for each trace of a suite.
 
-        # Execute stage: the branch `execute_delay` slots back resolves now.
-        if len(inflight) > config.execute_delay:
-            entry = inflight[-1 - config.execute_delay]
-            if not entry[3]:
-                predictor.notify_execute(entry[0].pc, entry[0].taken, entry[1])
-                entry[3] = True
+    The factory is consulted twice: once for the first trace and once for
+    the second, which doubles as a consistency check — every instance the
+    factory produces must report the same ``name``, because mixing
+    differently-configured predictors inside one
+    :class:`~repro.pipeline.metrics.SuiteResult` silently corrupts its
+    aggregates.  From the third trace on, the previous instance is
+    :meth:`~repro.predictors.base.Predictor.reset` back to power-on state
+    and reused instead of rebuilt; predictors that do not implement
+    ``reset()`` keep the historical fresh-instance-per-trace behaviour.
+    """
 
-        # Retire stage: the window is full, the oldest branch retires.
-        if len(inflight) > config.retire_delay:
-            retire(inflight.popleft())
+    def __init__(self, factory: Callable[[], Predictor]) -> None:
+        self._factory = factory
+        self._current: Predictor | None = self._build()
+        self.name = self._current.name
+        self._last: Predictor | None = None
+        self._reusable: bool | None = None  # unknown until the second trace
 
-    while inflight:
-        retire(inflight.popleft())
+    def _build(self) -> Predictor:
+        predictor = self._factory()
+        if not isinstance(predictor, Predictor):
+            raise TypeError(
+                f"predictor_factory must build Predictor instances, "
+                f"got {type(predictor).__name__}"
+            )
+        return predictor
 
-    return SimulationResult(
-        trace_name=trace.name,
-        predictor_name=predictor.name,
-        branches=trace.branch_count,
-        instructions=trace.instruction_count,
-        mispredictions=mispredictions,
-        misprediction_penalty=config.misprediction_penalty,
-        accesses=accesses,
-        scenario=scenario.label,
-        ium_overrides=_ium_overrides(predictor) - overrides_before,
-    )
+    def next(self) -> Predictor:
+        """Return a predictor in power-on state for the next trace."""
+        if self._current is not None:
+            predictor, self._current = self._current, None
+            return predictor
+        if self._reusable:
+            self._last.reset()
+            return self._last
+        predictor = self._build()
+        if predictor.name != self.name:
+            raise ValueError(
+                f"predictor_factory is not consistent: built {predictor.name!r} "
+                f"after {self.name!r}; one SuiteResult must aggregate a single "
+                f"predictor configuration"
+            )
+        if self._reusable is None:
+            # Second trace: probe reset support on the retiring first
+            # instance (about to be discarded, so the probe is harmless).
+            self._reusable = _supports_reset(self._last)
+        return predictor
+
+    def mark_used(self, predictor: Predictor) -> None:
+        """Record the instance that just ran, for reset-reuse on the next trace."""
+        self._last = predictor
 
 
 def simulate_suite(
-    predictor_factory,
+    predictor_factory: Callable[[], Predictor],
     traces: list[Trace],
     scenario: UpdateScenario = UpdateScenario.IMMEDIATE,
     config: PipelineConfig | None = None,
 ) -> SuiteResult:
-    """Simulate a fresh predictor instance over every trace of a suite.
+    """Simulate a predictor configuration over every trace of a suite.
 
     Parameters
     ----------
     predictor_factory:
-        A zero-argument callable returning a new predictor; a fresh
-        instance is built per trace so that traces do not warm each other
-        up (the CBP rule).
+        A zero-argument callable returning a new predictor.  Every trace
+        sees a power-on-state predictor so that traces do not warm each
+        other up (the CBP rule); when the predictor implements ``reset()``
+        only two instances are ever built (the second doubles as a factory
+        consistency check), the rest reset-and-reuse.  Predictors without
+        ``reset()`` are rebuilt per trace.  The factory must be
+        consistent: every instance it builds must report the same
+        ``name``, otherwise a :class:`ValueError` is raised.
     traces:
         The traces to run (typically from
         :func:`repro.traces.suite.generate_suite`).
@@ -176,12 +168,10 @@ def simulate_suite(
     if not traces:
         raise ValueError("simulate_suite needs at least one trace")
     config = config or PipelineConfig()
-    first = predictor_factory()
-    suite = SuiteResult(predictor_name=first.name)
-    for index, trace in enumerate(traces):
-        predictor = first if index == 0 else predictor_factory()
-        if scenario is UpdateScenario.IMMEDIATE:
-            suite.add(simulate(predictor, trace, config))
-        else:
-            suite.add(simulate_delayed(predictor, trace, scenario, config))
+    provider = _PredictorProvider(predictor_factory)
+    suite = SuiteResult(predictor_name=provider.name)
+    for trace in traces:
+        predictor = provider.next()
+        suite.add(SimulationEngine(predictor, scenario, config).run(trace))
+        provider.mark_used(predictor)
     return suite

@@ -1,4 +1,4 @@
-"""Baseline conditional branch predictors.
+"""Baseline conditional branch predictors and the predictor registry.
 
 These are the predictors the paper compares TAGE against, plus the
 building blocks the side predictors reuse:
@@ -24,6 +24,12 @@ building blocks the side predictors reuse:
 All predictors implement the :class:`~repro.predictors.base.Predictor`
 interface, whose prediction/update split models the fetch-time read and
 retire-time update of a real pipeline (see :mod:`repro.pipeline`).
+
+:mod:`repro.predictors.registry` maps string names plus config dicts to
+factories for every predictor in the package (including the composed
+TAGE-family predictors of :mod:`repro.core`); a
+:class:`~repro.predictors.registry.PredictorSpec` is the picklable unit
+the parallel suite runner and result caches work with.
 """
 
 from repro.predictors.base import PredictionInfo, Predictor, UpdateStats
@@ -32,6 +38,7 @@ from repro.predictors.ftl import FTLPredictor
 from repro.predictors.gehl import GEHLPredictor
 from repro.predictors.gshare import GSharePredictor
 from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.registry import PredictorSpec, create, spec_of
 from repro.predictors.snap import SNAPPredictor
 from repro.predictors.static import AlwaysNotTakenPredictor, AlwaysTakenPredictor
 
@@ -45,6 +52,9 @@ __all__ = [
     "PerceptronPredictor",
     "PredictionInfo",
     "Predictor",
+    "PredictorSpec",
     "SNAPPredictor",
     "UpdateStats",
+    "create",
+    "spec_of",
 ]

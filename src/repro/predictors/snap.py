@@ -85,7 +85,8 @@ class SNAPPredictor(Predictor):
         )
         self._history = GlobalHistoryRegister(capacity=max(64, history_length))
         self._path: deque[int] = deque(maxlen=history_length)
-        self.threshold = int(2.14 * (history_length + 1) + 20.58)
+        self._initial_threshold = int(2.14 * (history_length + 1) + 20.58)
+        self.threshold = self._initial_threshold
         self._threshold_counter = SaturatingCounter(bits=7, signed=True, value=0)
 
     def _bias_index(self, pc: int) -> int:
@@ -170,9 +171,10 @@ class SNAPPredictor(Predictor):
         return report
 
     def reset(self) -> None:
-        """Restore the power-on state."""
+        """Restore the power-on state (including the adaptive threshold)."""
         self._weights.fill(0)
         self._bias.fill(0)
         self._history.clear()
         self._path.clear()
+        self.threshold = self._initial_threshold
         self._threshold_counter.set(0)

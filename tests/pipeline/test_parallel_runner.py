@@ -1,0 +1,202 @@
+"""Tests for the parallel suite runner, the result cache and suite reuse."""
+
+import pytest
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.parallel import ParallelSuiteRunner, SuiteCache, trace_fingerprint
+from repro.pipeline.scenarios import UpdateScenario
+from repro.pipeline.simulator import simulate_suite
+from repro.predictors.base import PredictionInfo, Predictor, UpdateStats
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.registry import PredictorSpec
+
+SPEC = PredictorSpec("gshare", {"log2_entries": 12})
+
+
+def _assert_same_suite(left, right):
+    assert left.predictor_name == right.predictor_name
+    assert left.mispredictions == right.mispredictions
+    assert left.branches == right.branches
+    assert left.mppki == right.mppki
+    assert [r.trace_name for r in left.results] == [r.trace_name for r in right.results]
+    assert vars(left.access_profile) == vars(right.access_profile)
+
+
+class TestParallelMatchesSerial:
+    def test_two_workers_equal_serial(self, mini_suite):
+        serial = simulate_suite(SPEC.build, mini_suite)
+        parallel = ParallelSuiteRunner(SPEC, max_workers=2).run(mini_suite)
+        _assert_same_suite(parallel, serial)
+
+    def test_two_workers_equal_serial_delayed(self, mini_suite):
+        scenario = UpdateScenario.REREAD_ON_MISPREDICTION
+        config = PipelineConfig(retire_delay=8, execute_delay=2)
+        serial = simulate_suite(SPEC.build, mini_suite, scenario=scenario, config=config)
+        parallel = ParallelSuiteRunner(SPEC, max_workers=2).run(
+            mini_suite, scenario=scenario, config=config
+        )
+        _assert_same_suite(parallel, serial)
+
+    def test_single_worker_runs_in_process(self, mini_suite):
+        serial = simulate_suite(SPEC.build, mini_suite)
+        inproc = ParallelSuiteRunner(SPEC, max_workers=1).run(mini_suite)
+        _assert_same_suite(inproc, serial)
+
+    def test_spec_accepts_kind_string_and_predictor(self, tiny_trace):
+        by_string = ParallelSuiteRunner("always-taken", max_workers=1).run([tiny_trace])
+        by_predictor = ParallelSuiteRunner(
+            PredictorSpec("always-taken").build(), max_workers=1
+        ).run([tiny_trace])
+        _assert_same_suite(by_string, by_predictor)
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSuiteRunner(SPEC, max_workers=1).run([])
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSuiteRunner(SPEC, max_workers=0)
+
+
+class TestSuiteCache:
+    def test_second_run_is_served_from_cache(self, mini_suite, tmp_path):
+        runner = ParallelSuiteRunner(SPEC, max_workers=1, cache_dir=str(tmp_path))
+        first = runner.run(mini_suite)
+        assert runner.cache.hits == 0
+        assert runner.cache.misses == len(mini_suite)
+
+        rerun = ParallelSuiteRunner(SPEC, max_workers=1, cache_dir=str(tmp_path))
+        second = rerun.run(mini_suite)
+        assert rerun.cache.hits == len(mini_suite)
+        assert rerun.cache.misses == 0
+        _assert_same_suite(second, first)
+
+    def test_cache_key_depends_on_trace_content(self, tiny_trace, loop_trace):
+        config = PipelineConfig()
+        key_a = SuiteCache.key(SPEC, tiny_trace, UpdateScenario.IMMEDIATE, config)
+        key_b = SuiteCache.key(SPEC, loop_trace, UpdateScenario.IMMEDIATE, config)
+        assert key_a != key_b
+
+    def test_cache_key_depends_on_scenario_and_config(self, tiny_trace):
+        config = PipelineConfig()
+        immediate = SuiteCache.key(SPEC, tiny_trace, UpdateScenario.IMMEDIATE, config)
+        delayed = SuiteCache.key(SPEC, tiny_trace, UpdateScenario.REREAD_AT_RETIRE, config)
+        shallow = SuiteCache.key(
+            SPEC, tiny_trace, UpdateScenario.IMMEDIATE,
+            PipelineConfig(retire_delay=4, execute_delay=1),
+        )
+        assert len({immediate, delayed, shallow}) == 3
+
+    def test_fingerprint_tracks_content(self, tiny_trace):
+        assert trace_fingerprint(tiny_trace) == trace_fingerprint(tiny_trace)
+        shorter = tiny_trace.slice(0, 100)
+        shorter.name = tiny_trace.name  # same name, different content
+        assert trace_fingerprint(shorter) != trace_fingerprint(tiny_trace)
+
+
+class _CountingFactory:
+    """Factory wrapper that counts how many instances it built."""
+
+    def __init__(self, factory):
+        self.factory = factory
+        self.builds = 0
+
+    def __call__(self):
+        self.builds += 1
+        return self.factory()
+
+
+class _NoResetPredictor(Predictor):
+    """A learning-free predictor that does not implement reset()."""
+
+    name = "no-reset"
+
+    def predict(self, pc):
+        return PredictionInfo(taken=True)
+
+    def update_history(self, pc, taken, info):
+        pass
+
+    def update(self, pc, taken, info, reread=True):
+        return UpdateStats()
+
+    def storage_report(self):
+        from repro.common.storage import StorageReport
+
+        return StorageReport(self.name)
+
+
+class TestSuiteReuse:
+    def test_resettable_predictor_build_count_is_constant(self, mini_suite):
+        """Resettable predictors are built twice (the second build is the
+        factory consistency check), however many traces the suite has."""
+        factory = _CountingFactory(lambda: BimodalPredictor(entries=1024))
+        suite = simulate_suite(factory, mini_suite)
+        assert len(suite) == len(mini_suite) > 2
+        assert factory.builds == 2
+
+    def test_single_trace_builds_once(self, tiny_trace):
+        factory = _CountingFactory(lambda: BimodalPredictor(entries=1024))
+        simulate_suite(factory, [tiny_trace])
+        assert factory.builds == 1
+
+    def test_interleaved_reset_clears_the_bank_selector(self, tiny_trace, loop_trace):
+        """reset() must restore power-on state for interleaved organisations
+        too — including the shared BankSelector's recent-bank window."""
+        from repro.pipeline.simulator import simulate
+        from repro.predictors.registry import PredictorSpec
+
+        spec = PredictorSpec(
+            "augmented-tage", {"use_ium": False, "name": "tage-il", "interleaved": True}
+        )
+        reused = spec.build()
+        simulate(reused, tiny_trace)
+        reused.reset()
+        assert reused.tage.bank_selector.recent_banks == ()
+        second = simulate(reused, loop_trace)
+        fresh = simulate(spec.build(), loop_trace)
+        assert second.mispredictions == fresh.mispredictions
+        assert vars(second.accesses) == vars(fresh.accesses)
+
+    def test_reset_reuse_matches_fresh_instances(self, mini_suite):
+        reused = simulate_suite(lambda: GSharePredictor(log2_entries=12), mini_suite)
+        # A factory returning new objects cannot be distinguished by the
+        # caller: per-trace results must match a never-reused baseline.
+        per_trace = []
+        for trace in mini_suite:
+            from repro.pipeline.simulator import simulate
+
+            per_trace.append(simulate(GSharePredictor(log2_entries=12), trace))
+        assert [r.mispredictions for r in reused.results] == [
+            r.mispredictions for r in per_trace
+        ]
+
+    def test_factory_without_reset_is_rebuilt_per_trace(self, mini_suite):
+        factory = _CountingFactory(_NoResetPredictor)
+        suite = simulate_suite(factory, mini_suite)
+        assert len(suite) == len(mini_suite)
+        assert factory.builds == len(mini_suite)
+
+    def test_inconsistent_factory_names_rejected(self, mini_suite):
+        sizes = iter([10, 12, 14, 16])
+
+        def flaky_factory():
+            return _NoResetPredictor() if next(sizes) == 10 else GSharePredictor()
+
+        with pytest.raises(ValueError, match="not consistent"):
+            simulate_suite(flaky_factory, mini_suite)
+
+    def test_inconsistent_resettable_factory_also_rejected(self, mini_suite):
+        """Mixing is detected even when every instance supports reset()."""
+        sizes = iter([10, 12, 14, 16])
+
+        def flaky_factory():
+            return GSharePredictor(log2_entries=next(sizes))
+
+        with pytest.raises(ValueError, match="not consistent"):
+            simulate_suite(flaky_factory, mini_suite)
+
+    def test_non_predictor_factory_rejected(self, mini_suite):
+        with pytest.raises(TypeError, match="must build Predictor"):
+            simulate_suite(lambda: object(), mini_suite)

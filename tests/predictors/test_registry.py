@@ -1,0 +1,142 @@
+"""Tests for the predictor registry and the spec round trip."""
+
+import pickle
+
+import pytest
+
+from repro.core.augmented import AugmentedTAGE
+from repro.core.composed import TAGELSCPredictor
+from repro.core.config import make_reference_tage_config
+from repro.predictors import registry
+from repro.predictors.base import Predictor
+from repro.predictors.gshare import GSharePredictor
+from repro.predictors.registry import PredictorSpec
+from repro.predictors.static import AlwaysTakenPredictor
+
+
+class TestAvailability:
+    def test_every_family_is_registered(self):
+        kinds = registry.available()
+        for kind in [
+            "always-taken", "always-not-taken", "bimodal", "gshare", "perceptron",
+            "gehl", "snap", "ftl", "tage", "augmented-tage", "l-tage", "isl-tage",
+            "tage-lsc", "scaled-tage", "scaled-tage-lsc",
+        ]:
+            assert kind in kinds
+
+    def test_describe_yields_one_liner_per_kind(self):
+        entries = dict(registry.describe())
+        assert set(entries) == set(registry.available())
+        assert entries["tage"]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="unknown predictor kind"):
+            PredictorSpec("no-such-predictor").build()
+        with pytest.raises(KeyError, match="unknown predictor kind"):
+            registry.factory("no-such-predictor")
+
+
+class TestBuild:
+    def test_create_builds_the_right_type(self):
+        assert isinstance(registry.create("gshare"), GSharePredictor)
+        assert isinstance(registry.create("always-taken"), AlwaysTakenPredictor)
+        assert isinstance(registry.create("tage-lsc", fit_512kbits=True), TAGELSCPredictor)
+
+    def test_config_kwargs_reach_the_constructor(self):
+        predictor = registry.create("gshare", log2_entries=12)
+        assert predictor.log2_entries == 12
+
+    def test_interleaved_flag_enables_banking(self):
+        predictor = registry.create("augmented-tage", use_ium=False, interleaved=True)
+        assert isinstance(predictor, AugmentedTAGE)
+        assert predictor.tage.bank_selector is not None
+        plain = registry.create("augmented-tage", use_ium=False)
+        assert plain.tage.bank_selector is None
+
+    def test_scaled_kinds_scale_storage(self):
+        small = registry.create("scaled-tage", log2_factor=-2)
+        big = registry.create("scaled-tage", log2_factor=1)
+        assert big.storage_bits > small.storage_bits
+
+    def test_tage_with_explicit_config(self):
+        config = make_reference_tage_config()
+        predictor = registry.create("tage", config=config)
+        assert predictor.config is config
+
+    def test_factory_is_zero_arg_and_fresh(self):
+        build = registry.factory("bimodal", entries=1024)
+        first, second = build(), build()
+        assert first is not second
+        assert first.name == second.name
+
+
+class TestSpecRoundTrip:
+    def test_spec_to_predictor_to_spec(self):
+        spec = PredictorSpec("gshare", {"log2_entries": 13})
+        predictor = spec.build()
+        assert registry.spec_of(predictor) == spec
+        # ... and the recovered spec rebuilds an equivalent predictor.
+        again = registry.spec_of(predictor).build()
+        assert again.name == predictor.name
+        assert again.storage_bits == predictor.storage_bits
+
+    def test_round_trip_for_composed_kinds(self):
+        for kind, config in [
+            ("tage", {}),
+            ("isl-tage", {"use_sc": False}),
+            ("tage-lsc", {"fit_512kbits": True, "interleaved": True}),
+            ("scaled-tage-lsc", {"log2_factor": -1}),
+        ]:
+            spec = PredictorSpec(kind, config)
+            assert registry.spec_of(spec.build()) == spec
+
+    def test_spec_of_rejects_unregistered_construction(self):
+        with pytest.raises(ValueError, match="not built through the registry"):
+            registry.spec_of(GSharePredictor())
+
+    def test_specs_are_hashable_and_order_insensitive(self):
+        first = PredictorSpec("gehl", {"num_tables": 6, "log2_entries": 9})
+        second = PredictorSpec("gehl", {"log2_entries": 9, "num_tables": 6})
+        assert first == second
+        assert hash(first) == hash(second)
+        assert len({first, second}) == 1
+
+    def test_nested_config_values_survive_the_round_trip(self):
+        """Nested dicts/lists reach the factory as supplied, not frozen."""
+        spec = PredictorSpec("x", {"opts": {"a": 1}, "items": [1, 2]})
+        assert spec.config == {"opts": {"a": 1}, "items": [1, 2]}
+        # ... while equality/hashing still see through ordering.
+        twin = PredictorSpec("x", {"items": [1, 2], "opts": {"a": 1}})
+        assert spec == twin and hash(spec) == hash(twin)
+
+    def test_specs_pickle(self):
+        spec = PredictorSpec("tage-lsc", {"fit_512kbits": True})
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert isinstance(clone.build(), Predictor)
+
+    def test_cache_key_distinguishes_configs(self):
+        base = PredictorSpec("gshare").cache_key()
+        sized = PredictorSpec("gshare", {"log2_entries": 12}).cache_key()
+        assert base != sized
+        # Stable across instances.
+        assert PredictorSpec("gshare").cache_key() == base
+
+
+class TestRegistration:
+    def test_register_and_replace(self):
+        calls = []
+
+        @registry.register("test-dummy", description="a test-only kind")
+        def _build(**config):
+            calls.append(config)
+            return AlwaysTakenPredictor()
+
+        try:
+            predictor = registry.create("test-dummy", flavour="x")
+            assert isinstance(predictor, AlwaysTakenPredictor)
+            assert calls == [{"flavour": "x"}]
+            assert dict(registry.describe())["test-dummy"] == "a test-only kind"
+        finally:
+            registry._REGISTRY.pop("test-dummy", None)
+            registry._DESCRIPTIONS.pop("test-dummy", None)
