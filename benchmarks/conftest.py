@@ -10,10 +10,10 @@ run to an overnight full-suite run:
 * ``REPRO_BENCH_SEED``            — suite seed (default 2011)
 * ``REPRO_BENCH_WORKERS``         — suite worker processes (default 1)
 
-Experiment drivers honour the suite-runner variables too: set
-``REPRO_SUITE_WORKERS``/``REPRO_SUITE_CACHE`` to fan experiment suites out
-across processes and cache per-(spec, trace, scenario) results (see
-:class:`repro.pipeline.parallel.ParallelSuiteRunner`).
+Suites execute through the :class:`~repro.api.runner.Runner` facade, so
+the experiment drivers also honour ``REPRO_SUITE_WORKERS`` /
+``REPRO_SUITE_CACHE`` / ``REPRO_SUITE_CACHE_VERSION`` (parsed once by
+:meth:`repro.api.config.RunnerConfig.from_env`).
 
 For a run closer to the paper's setup use, e.g.::
 
@@ -23,19 +23,25 @@ For a run closer to the paper's setup use, e.g.::
 
 from __future__ import annotations
 
+import dataclasses
 import os
 
 import pytest
 
+from repro.api import Runner, RunnerConfig
+from repro.api.config import parse_workers
 from repro.pipeline.config import PipelineConfig
-from repro.pipeline.parallel import ParallelSuiteRunner
 from repro.predictors.registry import PredictorSpec
 from repro.traces.suite import HARD_TRACES, generate_suite, generate_trace
 
 BENCH_BRANCHES = int(os.environ.get("REPRO_BENCH_BRANCHES", "3000"))
 BENCH_TRACES_PER_CATEGORY = int(os.environ.get("REPRO_BENCH_TRACES", "1"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2011"))
-BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+_BENCH_WORKERS_RAW = (os.environ.get("REPRO_BENCH_WORKERS") or "").strip()
+BENCH_WORKERS = (
+    parse_workers(_BENCH_WORKERS_RAW, context="REPRO_BENCH_WORKERS")
+    if _BENCH_WORKERS_RAW else 1
+)
 
 #: Pipeline model used by the delayed-update benches: a 16-branch window
 #: keeps runtimes manageable while exhibiting every delayed-update effect.
@@ -63,14 +69,28 @@ def bench_mixed_suite():
     ]
 
 
-def suite_runner(kind: str, max_workers: int | None = None, **config) -> ParallelSuiteRunner:
-    """A :class:`ParallelSuiteRunner` for a registered predictor kind.
+@dataclasses.dataclass
+class BoundSuite:
+    """One predictor spec bound to a :class:`Runner` (bench convenience)."""
+
+    runner: Runner
+    spec: PredictorSpec
+
+    def run(self, traces, scenario="I", config: PipelineConfig | None = None):
+        """Run the spec over ``traces`` through the shared facade."""
+        return self.runner.run_suite(self.spec, traces, scenario=scenario, pipeline=config)
+
+
+def suite_runner(kind: str, max_workers: int | None = None, **config) -> BoundSuite:
+    """A facade-bound suite for a registered predictor kind.
 
     Benches use this to run predictor suites with the shared
-    ``REPRO_BENCH_WORKERS`` setting (default serial).
+    ``REPRO_BENCH_WORKERS`` setting (default serial).  The result cache
+    is always disabled here — a ``REPRO_SUITE_CACHE`` leaking in from the
+    shell would turn the throughput benches into pickle-load timings.
     """
     workers = BENCH_WORKERS if max_workers is None else max_workers
-    return ParallelSuiteRunner(PredictorSpec(kind, config), max_workers=workers)
+    return BoundSuite(Runner(RunnerConfig(workers=workers)), PredictorSpec(kind, config))
 
 
 def run_once(benchmark, func):

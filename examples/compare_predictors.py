@@ -5,68 +5,60 @@ and GEHL as baselines, TAGE, then TAGE augmented with the side predictors
 (L-TAGE, ISL-TAGE, TAGE-LSC), plus the neural comparators used in Figure
 10.  Prints one row per predictor with its storage and suite MPPKI.
 
-Every predictor is described as a registry spec (a registered name plus a
-config dict, see :mod:`repro.predictors.registry`), the serializable unit
-the suite machinery works with.
+All ten families are submitted as **one batch** to the
+:class:`~repro.api.runner.Runner` facade, so every (predictor, trace)
+pair is interleaved into a single process pool — with ``--workers 8`` the
+workers stay busy across predictor boundaries instead of draining one
+suite at a time.
 
 Run with::
 
-    python examples/compare_predictors.py [branches_per_trace] [--workers N]
+    python examples/compare_predictors.py [--branches N] [--workers N|auto]
 
-Running suites in parallel
---------------------------
+Defaults (workers, result cache) come from the ``REPRO_SUITE_*``
+environment via :meth:`~repro.api.config.RunnerConfig.from_env`; the
+flags override them.  The equivalent one-liner through the CLI::
 
-Each (predictor, trace) run is independent, so a suite fans out across
-processes.  ``--workers N`` (or ``ParallelSuiteRunner`` directly) does
-exactly that::
-
-    from repro.pipeline import ParallelSuiteRunner
-    from repro.predictors import PredictorSpec
-
-    runner = ParallelSuiteRunner(
-        PredictorSpec("tage-lsc", {"fit_512kbits": True}),
-        max_workers=8,                 # None = os.cpu_count()
-        cache_dir=".repro-cache",      # optional: skip traces already simulated
-    )
-    suite = runner.run(traces)         # same SuiteResult as the serial path
-
-Workers receive the picklable spec — never a live predictor — and build
-(or reset and reuse) their own instance, so results are identical to the
-serial ``simulate_suite`` path; the opt-in cache is keyed by (spec, trace
-content, scenario, pipeline config).  The experiment drivers in
-:mod:`repro.analysis.experiments` pick the same machinery up from the
-``REPRO_SUITE_WORKERS`` / ``REPRO_SUITE_CACHE`` environment variables.
+    repro suite --predictor tage --predictor 'tage-lsc={"fit_512kbits":true}' \\
+        --trace "suite:all?branches=5000&count=1"
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
+import dataclasses
 
 from repro.analysis.reporting import format_table
-from repro.pipeline import ParallelSuiteRunner
+from repro.api import Runner, RunnerConfig
+from repro.api.config import parse_workers
 from repro.predictors.registry import PredictorSpec
 from repro.traces import generate_suite
 
 
-def main() -> None:
-    args = [arg for arg in sys.argv[1:]]
-    workers = 1
-    if "--workers" in args:
-        at = args.index("--workers")
-        try:
-            workers = int(args[at + 1])
-        except (IndexError, ValueError):
-            sys.exit("usage: compare_predictors.py [branches_per_trace] [--workers N]")
-        if workers < 1:
-            sys.exit("usage: compare_predictors.py [branches_per_trace] [--workers N >= 1]")
-        del args[at : at + 2]
-    try:
-        branches = int(args[0]) if args else 5_000
-    except ValueError:
-        sys.exit("usage: compare_predictors.py [branches_per_trace] [--workers N]")
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--branches", type=int, default=5_000,
+                        help="branches per trace (default 5000)")
+    parser.add_argument("--workers", default=None, metavar="N|auto",
+                        help="worker processes; default REPRO_SUITE_WORKERS or 1")
+    return parser.parse_args()
 
-    traces = generate_suite(traces_per_category=1, branches_per_trace=branches, seed=2011)
-    print(f"suite: {len(traces)} traces x {branches} branches, {workers} worker(s)\n")
+
+def main() -> None:
+    args = parse_args()
+    config = RunnerConfig.from_env()
+    if args.workers is not None:
+        try:
+            config = dataclasses.replace(
+                config, workers=parse_workers(args.workers, context="--workers")
+            )
+        except ValueError as error:
+            raise SystemExit(f"compare_predictors.py: error: {error}")
+    runner = Runner(config)
+
+    traces = generate_suite(traces_per_category=1, branches_per_trace=args.branches, seed=2011)
+    workers_text = "auto" if config.workers is None else str(config.workers)
+    print(f"suite: {len(traces)} traces x {args.branches} branches, {workers_text} worker(s)\n")
 
     families = [
         ("bimodal 64K", PredictorSpec("bimodal", {"entries": 32768})),
@@ -81,9 +73,10 @@ def main() -> None:
         ("TAGE-LSC", PredictorSpec("tage-lsc", {"fit_512kbits": True})),
     ]
 
+    suites = runner.run_suites([(spec, traces, "I", None) for _, spec in families])
+
     rows = []
-    for name, spec in families:
-        suite = ParallelSuiteRunner(spec, max_workers=workers).run(traces)
+    for (name, spec), suite in zip(families, suites):
         predictor = spec.build()
         rows.append([
             name,
@@ -92,10 +85,8 @@ def main() -> None:
             suite.mpki,
             suite.mispredictions,
         ])
-        print(f"  done: {name}")
 
     rows.sort(key=lambda row: row[2])
-    print()
     print(format_table(
         ["predictor", "storage Kbits", "MPPKI", "MPKI", "mispredictions"],
         rows,

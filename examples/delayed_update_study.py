@@ -18,9 +18,10 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis.experiments import run_ium_recovery, run_update_scenarios
+from repro.api import Runner
 from repro.hardware import PredictorCostModel
-from repro.pipeline import PipelineConfig, UpdateScenario, simulate_suite
-from repro.predictors.registry import factory
+from repro.pipeline import PipelineConfig, UpdateScenario
+from repro.predictors.registry import PredictorSpec
 from repro.traces import generate_suite
 
 
@@ -38,11 +39,12 @@ def main() -> None:
     print(run_ium_recovery(traces, config=pipeline).to_table())
 
     print("\n=== hardware cost of the organisations (Section 4.3) ===")
-    tage = factory("tage")
-    suite = simulate_suite(tage, traces,
-                           scenario=UpdateScenario.REREAD_ON_MISPREDICTION, config=pipeline)
+    tage = PredictorSpec("tage")
+    suite = Runner.from_env().run_suite(
+        tage, traces, scenario=UpdateScenario.REREAD_ON_MISPREDICTION, pipeline=pipeline
+    )
     profile = suite.access_profile
-    cost = PredictorCostModel(storage_bits=tage().storage_bits)
+    cost = PredictorCostModel(storage_bits=tage.build().storage_bits)
     print(f"accesses per retired branch under [C]: {profile.accesses_per_branch:.2f}")
     print(f"area   3-port / interleaved single-port: {cost.area_reduction:.2f}x")
     print(f"energy 3-port / interleaved single-port: {cost.energy_reduction_per_access:.2f}x")

@@ -3,16 +3,19 @@
 Builds the paper's reference ~64 KByte TAGE predictor, generates one trace
 of the CBP-like synthetic suite, simulates it with oracle (immediate)
 update and prints the accuracy, the storage breakdown and the access
-profile.
-
-Run with::
+profile — then repeats the run through the serializable run API
+(:class:`~repro.api.request.RunRequest` + :class:`~repro.api.runner.Runner`),
+which is also what the ``repro`` CLI drives::
 
     python examples/quickstart.py
+    # equivalent CLI run:
+    python -m repro run tage --trace "suite:INT03?branches=20000" --json
 """
 
 from __future__ import annotations
 
 from repro import simulate
+from repro.api import Runner, RunRequest
 from repro.predictors.registry import create
 from repro.traces import generate_trace
 
@@ -36,6 +39,14 @@ def main() -> None:
 
     print("\nstorage breakdown:")
     print(predictor.storage_report().to_table())
+
+    # The same run as pure data: a RunRequest names the predictor and the
+    # trace (no live objects), round-trips through JSON, and executes
+    # through the Runner facade — three lines, same numbers.
+    request = RunRequest("tage", "suite:INT03?branches=20000")
+    suite = Runner.from_env().run(request)
+    print("\nvia the run API:", suite.summary())
+    print("request JSON    :", request.to_json())
 
 
 if __name__ == "__main__":

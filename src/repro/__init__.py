@@ -21,7 +21,12 @@ Andre Seznec's MICRO 2011 paper:
   interleaving with single-port arrays, and a CACTI-like area/energy
   model (:mod:`repro.hardware`),
 * experiment drivers that regenerate every table and figure of the
-  paper's evaluation (:mod:`repro.analysis`).
+  paper's evaluation (:mod:`repro.analysis`),
+* the serializable run API and the ``repro`` CLI (:mod:`repro.api`):
+  :class:`~repro.api.request.RunRequest` /
+  :class:`~repro.api.runner.Runner` /
+  :class:`~repro.api.config.RunnerConfig`, also reachable as
+  ``python -m repro``.
 
 Quickstart
 ----------
@@ -35,6 +40,7 @@ Quickstart
 True
 """
 
+from repro.api import Runner, RunnerConfig, RunRequest
 from repro.core import (
     ISLTAGEPredictor,
     LoopPredictor,
@@ -80,6 +86,9 @@ __all__ = [
     "PipelineConfig",
     "Predictor",
     "PredictorSpec",
+    "RunRequest",
+    "Runner",
+    "RunnerConfig",
     "SimulationEngine",
     "SimulationResult",
     "StatisticalCorrector",

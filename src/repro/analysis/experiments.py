@@ -8,29 +8,30 @@ and the benchmark harness can use larger ones, and they all return an
 printed, asserted on, or dumped to EXPERIMENTS.md.
 
 Predictors are described as registry specs
-(:class:`~repro.predictors.registry.PredictorSpec`), so every experiment
-can transparently fan its suites out with
-:class:`~repro.pipeline.parallel.ParallelSuiteRunner`: set
-``REPRO_SUITE_WORKERS`` (worker processes, default 1 = serial) and
-optionally ``REPRO_SUITE_CACHE`` (a directory for the per-(spec, trace,
-scenario) result cache).
+(:class:`~repro.predictors.registry.PredictorSpec`) and every suite runs
+through the ambient :class:`~repro.api.runner.Runner` facade: drivers that
+need several suites submit them as one batch, so all (spec, trace) pairs
+interleave into a single process pool.  Configuration (worker count,
+result cache) comes from :meth:`~repro.api.config.RunnerConfig.from_env`
+— ``REPRO_SUITE_WORKERS``, ``REPRO_SUITE_CACHE`` and
+``REPRO_SUITE_CACHE_VERSION`` — unless an entry point installs its own
+runner with :func:`~repro.api.runner.using_runner` (the ``repro`` CLI
+does, so its ``--workers``/``--cache-dir`` flags reach every experiment).
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
 from repro.analysis.reporting import format_table
+from repro.api.runner import active_runner
 from repro.core.augmented import RetireReadScope
 from repro.core.config import make_reference_tage_config
 from repro.core.tage import TAGEPredictor
 from repro.hardware.cacti import PredictorCostModel
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.metrics import SuiteResult
-from repro.pipeline.parallel import ParallelSuiteRunner
 from repro.pipeline.scenarios import UpdateScenario
-from repro.pipeline.simulator import simulate_suite
 from repro.predictors.registry import PredictorSpec
 from repro.traces.suite import HARD_TRACES
 from repro.traces.trace import Trace
@@ -83,23 +84,25 @@ class ExperimentTable:
         raise KeyError(f"no row with key {key!r} in experiment {self.experiment!r}")
 
 
-def _suite_workers() -> int:
-    """Worker processes for experiment suites (``REPRO_SUITE_WORKERS``, default 1)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_SUITE_WORKERS", "1")))
-    except ValueError:
-        return 1
-
-
 def _suite(spec: PredictorSpec, traces: list[Trace], scenario=UpdateScenario.IMMEDIATE,
            config: PipelineConfig | None = None) -> SuiteResult:
-    """Run one predictor spec over the traces, serially or via the pool."""
-    workers = _suite_workers()
-    cache_dir = os.environ.get("REPRO_SUITE_CACHE") or None
-    if workers > 1 or cache_dir:
-        runner = ParallelSuiteRunner(spec, max_workers=workers, cache_dir=cache_dir)
-        return runner.run(traces, scenario=scenario, config=config)
-    return simulate_suite(spec.build, traces, scenario=scenario, config=config)
+    """Run one predictor spec over the traces through the ambient runner."""
+    return active_runner().run_suite(spec, traces, scenario=scenario, pipeline=config)
+
+
+def _suites(
+    runs: list[tuple[PredictorSpec, UpdateScenario, PipelineConfig | None]],
+    traces: list[Trace],
+) -> list[SuiteResult]:
+    """Run several (spec, scenario, config) suites as one interleaved batch.
+
+    Every (spec, trace) pair of every run goes into the same pool, so a
+    driver comparing five predictors keeps all workers busy until the
+    whole experiment drains instead of parallelising one suite at a time.
+    """
+    return active_runner().run_suites(
+        [(spec, traces, scenario, config) for spec, scenario, config in runs]
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -119,8 +122,8 @@ def run_access_counts(traces: list[Trace]) -> ExperimentTable:
         ("gehl", PredictorSpec("gehl")),
         ("gshare", PredictorSpec("gshare")),
     ]
-    for name, spec in specs:
-        suite = _suite(spec, traces)
+    suites = _suites([(spec, UpdateScenario.IMMEDIATE, None) for _, spec in specs], traces)
+    for (name, _), suite in zip(specs, suites):
         profile = suite.access_profile
         table.add_row(
             name,
@@ -159,11 +162,10 @@ def run_update_scenarios(
         UpdateScenario.FETCH_READ_ONLY,
         UpdateScenario.REREAD_ON_MISPREDICTION,
     ]
-    for name, spec in specs:
-        row = [name]
-        for scenario in scenarios:
-            row.append(_suite(spec, traces, scenario=scenario, config=config).mppki)
-        table.rows.append(row)
+    runs = [(spec, scenario, config) for _, spec in specs for scenario in scenarios]
+    suites = iter(_suites(runs, traces))
+    for name, _ in specs:
+        table.rows.append([name] + [next(suites).mppki for _ in scenarios])
     return table
 
 
@@ -185,8 +187,9 @@ def run_bank_interleaving(
     interleaved = PredictorSpec(
         "augmented-tage", {"use_ium": False, "name": "tage-interleaved", "interleaved": True}
     )
-    plain_suite = _suite(plain, traces, scenario=scenario, config=config)
-    inter_suite = _suite(interleaved, traces, scenario=scenario, config=config)
+    plain_suite, inter_suite = _suites(
+        [(plain, scenario, config), (interleaved, scenario, config)], traces
+    )
     cost = PredictorCostModel(storage_bits=TAGEPredictor().storage_bits)
     three_port = cost.three_port_array()
     banked = cost.interleaved_array()
@@ -224,11 +227,13 @@ def run_ium_recovery(
         ("tage", PredictorSpec("tage")),
         ("tage+ium", PredictorSpec("augmented-tage", {"use_ium": True, "name": "tage+ium"})),
     ]
-    for name, spec in specs:
+    runs = [(spec, scenario, config) for _, spec in specs for scenario in scenarios]
+    suites = iter(_suites(runs, traces))
+    for name, _ in specs:
         row = [name]
         overrides = 0
-        for scenario in scenarios:
-            suite = _suite(spec, traces, scenario=scenario, config=config)
+        for _ in scenarios:
+            suite = next(suites)
             row.append(suite.mppki)
             overrides += sum(result.ium_overrides for result in suite.results)
         row.append(overrides)
@@ -264,8 +269,8 @@ def run_side_predictor_stack(traces: list[Trace]) -> ExperimentTable:
         ("tage-lsc (tage+ium+lsc)", PredictorSpec("tage-lsc", {"fit_512kbits": True})),
         ("tage+ium+loop+sc+lsc", PredictorSpec("tage-lsc", {"use_loop": True, "use_sc": True})),
     ]
-    for name, spec in specs:
-        suite = _suite(spec, traces)
+    suites = _suites([(spec, UpdateScenario.IMMEDIATE, None) for _, spec in specs], traces)
+    for (name, spec), suite in zip(specs, suites):
         predictor = spec.build()
         table.add_row(name, suite.mppki, suite.mispredictions,
                       round(predictor.storage_bits / 1024.0, 1))
@@ -297,8 +302,11 @@ def run_history_robustness(traces: list[Trace]) -> ExperimentTable:
         ("6-comp (6,500)", reference.__class__.generate(
             num_tagged_tables=5, min_history=6, max_history=500, base_log2_entries=13)),
     ]
-    for name, config in variants:
-        suite = _suite(PredictorSpec("tage-lsc", {"config": config}), traces)
+    runs = [
+        (PredictorSpec("tage-lsc", {"config": config}), UpdateScenario.IMMEDIATE, None)
+        for _, config in variants
+    ]
+    for (name, _), suite in zip(variants, _suites(runs, traces)):
         table.add_row(name, suite.mppki)
     return table
 
@@ -320,11 +328,17 @@ def run_fig9_size_sweep(
         ),
     )
     factors = log2_factors if log2_factors is not None else [-2, -1, 0, 1, 2, 3]
-    for factor in factors:
-        tage_spec = PredictorSpec("scaled-tage", {"log2_factor": factor})
-        lsc_spec = PredictorSpec("scaled-tage-lsc", {"log2_factor": factor})
-        tage_suite = _suite(tage_spec, traces)
-        lsc_suite = _suite(lsc_spec, traces)
+    from repro.analysis.sweep import fig9_specs
+
+    pairs = fig9_specs(factors)
+    runs = [
+        (spec, UpdateScenario.IMMEDIATE, None)
+        for _, tage_spec, lsc_spec in pairs
+        for spec in (tage_spec, lsc_spec)
+    ]
+    suites = iter(_suites(runs, traces))
+    for factor, tage_spec, lsc_spec in pairs:
+        tage_suite, lsc_suite = next(suites), next(suites)
         table.add_row(
             factor,
             round(tage_spec.build().storage_bits / 1024.0),
@@ -356,8 +370,8 @@ def run_fig10_hard_traces(traces: list[Trace]) -> ExperimentTable:
         ("ftl-like", PredictorSpec("ftl")),
     ]
     hard_names = {trace.name for trace in traces if trace.hard or trace.name in HARD_TRACES}
-    for name, spec in specs:
-        suite = _suite(spec, traces)
+    suites = _suites([(spec, UpdateScenario.IMMEDIATE, None) for _, spec in specs], traces)
+    for (name, _), suite in zip(specs, suites):
         hard = suite.subset(hard_names)
         easy = suite.subset({trace.name for trace in traces} - hard_names)
         table.add_row(name, hard.mppki, easy.mppki, suite.mppki)
@@ -400,8 +414,8 @@ def run_cost_effective(
          interleaved(RetireReadScope.LOCAL_ONLY), UpdateScenario.REREAD_ON_MISPREDICTION),
         ("interleaved, fetch-time read only [B]", interleaved(), UpdateScenario.FETCH_READ_ONLY),
     ]
-    for name, spec, scenario in rows:
-        suite = _suite(spec, traces, scenario=scenario, config=config)
+    suites = _suites([(spec, scenario, config) for _, spec, scenario in rows], traces)
+    for (name, _, scenario), suite in zip(rows, suites):
         table.add_row(name, scenario.label, suite.mppki)
     return table
 

@@ -19,8 +19,15 @@ from repro.core.composed import TAGELSCPredictor
 from repro.core.config import TAGEConfig, make_reference_tage_config
 from repro.core.statistical_corrector import StatisticalCorrectorConfig
 from repro.core.tage import TAGEPredictor
+from repro.predictors.registry import PredictorSpec
 
-__all__ = ["scaled_tage_config", "scaled_tage", "scaled_tage_lsc"]
+__all__ = [
+    "fig9_specs",
+    "scaled_spec",
+    "scaled_tage",
+    "scaled_tage_config",
+    "scaled_tage_lsc",
+]
 
 
 def scaled_tage_config(log2_factor: int) -> TAGEConfig:
@@ -51,3 +58,27 @@ def scaled_tage_lsc(log2_factor: int) -> TAGELSCPredictor:
         lsc_config=lsc_config,
         local_history_entries=local_history_entries,
     )
+
+
+def scaled_spec(kind: str, log2_factor: int) -> PredictorSpec:
+    """The registry spec of a scaled predictor: pure data, pool- and JSON-safe.
+
+    ``kind`` is ``"tage"`` or ``"tage-lsc"``; the returned spec names the
+    corresponding ``scaled-*`` registry kind, so sweeps travel through the
+    run API (:class:`~repro.api.request.RunRequest`) and the parallel
+    scheduler without holding live predictors.
+    """
+    if kind not in ("tage", "tage-lsc"):
+        raise ValueError(f"scaled_spec supports 'tage' and 'tage-lsc', got {kind!r}")
+    registered = "scaled-tage" if kind == "tage" else "scaled-tage-lsc"
+    return PredictorSpec(registered, {"log2_factor": log2_factor})
+
+
+def fig9_specs(
+    log2_factors: list[int],
+) -> list[tuple[int, PredictorSpec, PredictorSpec]]:
+    """(factor, TAGE spec, TAGE-LSC spec) for every Figure 9 scale point."""
+    return [
+        (factor, scaled_spec("tage", factor), scaled_spec("tage-lsc", factor))
+        for factor in log2_factors
+    ]

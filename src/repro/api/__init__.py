@@ -1,0 +1,37 @@
+"""The public run API: serializable requests, one execution facade, a CLI.
+
+This package is the front door for executing simulations:
+
+* :class:`~repro.api.request.RunRequest` — one run as pure data: a
+  predictor spec, a trace *reference* string, an update scenario and a
+  pipeline config, with a lossless JSON round trip,
+* :class:`~repro.api.config.RunnerConfig` — the execution environment
+  (workers, result cache), the single reader of the ``REPRO_SUITE_*``
+  environment variables,
+* :class:`~repro.api.runner.Runner` — executes a request, a batch or a
+  specs x traces x scenarios cross-product, interleaving every
+  (spec, trace) pair into one process pool,
+* :mod:`repro.api.experiments` — the paper's experiments by name
+  (``run_experiment("fig10", traces)``),
+* :mod:`repro.api.cli` — the ``repro`` console command
+  (``repro run``, ``repro suite``, ``repro experiment``, ``repro list``,
+  ``repro cache``; also ``python -m repro``).
+
+The three-line version::
+
+    from repro.api import Runner, RunRequest
+
+    result = Runner.from_env().run(RunRequest("tage-lsc", "hard:all", scenario="A"))
+"""
+
+from repro.api.config import RunnerConfig
+from repro.api.request import RunRequest
+from repro.api.runner import Runner, active_runner, using_runner
+
+__all__ = [
+    "RunRequest",
+    "Runner",
+    "RunnerConfig",
+    "active_runner",
+    "using_runner",
+]

@@ -1,0 +1,431 @@
+"""``repro`` — the command-line front end over the run API.
+
+Every sub-command is a thin shell over the same objects Python callers
+use (:class:`~repro.api.request.RunRequest`,
+:class:`~repro.api.runner.Runner`, the predictor registry, trace
+references and the named experiments)::
+
+    repro run tage-lsc --trace hard:MM05 --scenario A --workers 4 --json
+    repro run --request saved-request.json
+    repro suite --predictor tage --predictor tage-lsc --trace suite:INT --scenario A
+    repro experiment fig10 --branches 3000
+    repro list predictors|traces|experiments
+    repro cache stats|clear
+
+Defaults for workers and caching come from the ``REPRO_SUITE_*``
+environment (one parser: :meth:`~repro.api.config.RunnerConfig.from_env`);
+``--workers`` / ``--cache-dir`` / ``--cache-version`` override per
+invocation.  ``--json`` switches any sub-command to machine-readable
+output.  Also invocable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+from typing import Any, Sequence
+
+from repro.api.config import RunnerConfig, parse_workers
+from repro.api.experiments import available_experiments, find_experiment
+from repro.api.request import RunRequest
+from repro.api.runner import Runner, using_runner
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.metrics import SuiteResult
+from repro.pipeline.parallel import SuiteCache
+from repro.predictors.registry import PredictorSpec, describe
+from repro.traces.refs import parse_trace_ref, trace_ref_catalogue
+
+__all__ = ["main"]
+
+_DEFAULT_RUN_TRACE = "suite:INT01?branches=5000"
+
+#: Distinguishes "--workers auto" (None) from "--workers not given".
+_UNSET = object()
+
+
+class CLIError(Exception):
+    """A user-facing command-line error (exit code 2)."""
+
+
+def _parse_workers(value: str) -> int | None:
+    try:
+        return parse_workers(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("execution")
+    group.add_argument("--workers", type=_parse_workers, default=_UNSET, metavar="N",
+                       help="worker processes (or 'auto' = cpu count); "
+                            "default: REPRO_SUITE_WORKERS or 1")
+    group.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result cache directory; default: REPRO_SUITE_CACHE")
+    group.add_argument("--cache-version", default=None, metavar="LABEL",
+                       help="cache key label; default: REPRO_SUITE_CACHE_VERSION")
+
+
+def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("pipeline model")
+    group.add_argument("--retire-delay", type=int, default=None, metavar="N",
+                       help="in-flight branches before retire (default 24)")
+    group.add_argument("--execute-delay", type=int, default=None, metavar="N",
+                       help="in-flight branches before execute (default 6)")
+    group.add_argument("--penalty", type=int, default=None, metavar="CYCLES",
+                       help="misprediction penalty for MPPKI (default 20)")
+
+
+def _runner_config(args: argparse.Namespace) -> RunnerConfig:
+    """Environment defaults overridden by the command-line flags."""
+    config = RunnerConfig.from_env()
+    if getattr(args, "workers", _UNSET) is not _UNSET:
+        config = dataclasses.replace(config, workers=args.workers)
+    if getattr(args, "cache_dir", None) is not None:
+        config = dataclasses.replace(config, cache_dir=args.cache_dir or None)
+    if getattr(args, "cache_version", None) is not None:
+        config = dataclasses.replace(config, cache_version=args.cache_version)
+    return config
+
+
+def _pipeline(args: argparse.Namespace) -> PipelineConfig:
+    defaults = PipelineConfig()
+    return PipelineConfig(
+        retire_delay=args.retire_delay if args.retire_delay is not None else defaults.retire_delay,
+        execute_delay=(args.execute_delay if args.execute_delay is not None
+                       else defaults.execute_delay),
+        misprediction_penalty=(args.penalty if args.penalty is not None
+                               else defaults.misprediction_penalty),
+    )
+
+
+def _load_config_json(text: str | None, context: str) -> dict:
+    if not text:
+        return {}
+    try:
+        config = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CLIError(f"{context}: invalid JSON config ({error})") from None
+    if not isinstance(config, dict):
+        raise CLIError(f"{context}: config must be a JSON object, got {type(config).__name__}")
+    return config
+
+
+def _suite_payload(request: RunRequest, result: SuiteResult) -> dict[str, Any]:
+    branches = result.branches
+    return {
+        "predictor": result.predictor_name,
+        "spec": {"kind": request.predictor.kind, "config": request.predictor.config},
+        "trace": request.trace,
+        "scenario": request.scenario.value,
+        "traces": len(result.results),
+        "branches": branches,
+        "instructions": result.instructions,
+        "mispredictions": result.mispredictions,
+        "accuracy": (branches - result.mispredictions) / branches if branches else 0.0,
+        "mpki": result.mpki,
+        "mppki": result.mppki,
+        "per_trace": result.per_trace(),
+    }
+
+
+def _print_json(payload: Any) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=False))
+
+
+def _format_table(headers: list[str], rows: list[list]) -> str:
+    from repro.analysis.reporting import format_table
+
+    return format_table(headers, rows)
+
+
+# ---------------------------------------------------------------------------
+# Sub-commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if bool(args.request) == bool(args.kind):
+        raise CLIError("run: give either a predictor kind or --request FILE (not both)")
+    if args.request:
+        # The file IS the request; silently overriding parts of it would
+        # let the user attribute one run's numbers to another's settings.
+        conflicting = [
+            flag for flag, given in [
+                ("--config", args.config is not None),
+                ("--trace", bool(args.trace)),
+                ("--scenario", args.scenario is not None),
+                ("--retire-delay", args.retire_delay is not None),
+                ("--execute-delay", args.execute_delay is not None),
+                ("--penalty", args.penalty is not None),
+            ] if given
+        ]
+        if conflicting:
+            raise CLIError(
+                f"run: {', '.join(conflicting)} cannot be combined with --request; "
+                "edit the request file instead"
+            )
+        try:
+            with open(args.request, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise CLIError(f"run: cannot read request file {args.request!r}: {error}") from None
+        # --dump-request writes a single object for one trace and a list for
+        # several; accept both so every dump replays.
+        entries = payload if isinstance(payload, list) else [payload]
+        requests = [RunRequest.from_dict(entry) for entry in entries]
+    else:
+        spec = PredictorSpec(args.kind, _load_config_json(args.config, "run"))
+        refs = args.trace or [_DEFAULT_RUN_TRACE]
+        pipeline = _pipeline(args)
+        scenario = args.scenario if args.scenario is not None else "I"
+        requests = [RunRequest(spec, ref, scenario, pipeline) for ref in refs]
+
+    if args.dump_request:
+        payloads = [request.to_dict() for request in requests]
+        _print_json(payloads[0] if len(payloads) == 1 else payloads)
+        return 0
+
+    runner = Runner(_runner_config(args))
+    results = runner.run_batch(requests)
+    payloads = [_suite_payload(request, result) for request, result in zip(requests, results)]
+    if args.json:
+        _print_json(payloads[0] if len(payloads) == 1 else payloads)
+    else:
+        for request, result in zip(requests, results):
+            print(f"{request.trace} {request.scenario.label}: {result.summary()}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    specs = []
+    for entry in args.predictor:
+        kind, sep, config_text = entry.partition("=")
+        config = _load_config_json(config_text if sep else None, f"suite: predictor {kind!r}")
+        specs.append(PredictorSpec(kind, config))
+    runner = Runner(_runner_config(args))
+    pairs = runner.run_product(specs, args.trace, args.scenario, _pipeline(args))
+    payloads = [_suite_payload(request, result) for request, result in pairs]
+    if args.json:
+        _print_json(payloads)
+    else:
+        rows = [
+            [p["predictor"], p["trace"], f"[{p['scenario']}]",
+             p["mppki"], p["mpki"], p["mispredictions"]]
+            for p in payloads
+        ]
+        print(_format_table(
+            ["predictor", "trace", "scenario", "mppki", "mpki", "mispredictions"], rows
+        ))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    try:
+        experiment = find_experiment(args.name)
+    except KeyError as error:
+        raise CLIError(str(error.args[0])) from None
+    runner = Runner(_runner_config(args))
+    if args.trace:
+        explicit = [flag for flag, given in
+                    [("--branches", args.branches is not None),
+                     ("--seed", args.seed is not None)] if given]
+        if explicit:
+            raise CLIError(
+                f"experiment: {', '.join(explicit)} only shape the default suite; "
+                "with --trace, put branches/seed in the reference "
+                "(e.g. 'hard:all?branches=3000&seed=7')"
+            )
+        refs = args.trace
+    else:
+        branches = args.branches if args.branches is not None else 3000
+        seed = args.seed if args.seed is not None else 2011
+        refs = [f"suite:all?branches={branches}&seed={seed}"]
+    traces = [trace for ref in refs for trace in runner.resolve(ref)]
+    with using_runner(runner):
+        table = experiment.run(traces)
+    if args.json:
+        _print_json({
+            "experiment": table.experiment,
+            "name": experiment.name,
+            "headers": table.headers,
+            "rows": table.rows,
+            "paper_reference": table.paper_reference,
+            "traces": [trace.name for trace in traces],
+        })
+    else:
+        print(table.to_table())
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.what == "predictors":
+        rows = [[kind, description] for kind, description in describe()]
+        if args.json:
+            _print_json([{"kind": kind, "description": text} for kind, text in rows])
+        else:
+            print(_format_table(["kind", "description"], rows))
+    elif args.what == "traces":
+        rows = trace_ref_catalogue()
+        if args.json:
+            _print_json([{"pattern": pattern, "description": text} for pattern, text in rows])
+        else:
+            print(_format_table(["trace reference", "description"], [list(r) for r in rows]))
+    else:
+        experiments = available_experiments()
+        if args.json:
+            _print_json([
+                {"name": e.name, "aliases": list(e.aliases), "description": e.description}
+                for e in experiments
+            ])
+        else:
+            rows = [[e.name, ", ".join(e.aliases), e.description] for e in experiments]
+            print(_format_table(["name", "aliases", "description"], rows))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    config = _runner_config(args)
+    if not config.cache_dir:
+        raise CLIError("cache: no cache directory (set --cache-dir or REPRO_SUITE_CACHE)")
+    cache = SuiteCache(config.cache_dir, cache_version=config.cache_version)
+    if args.action == "stats":
+        stats = cache.stats()
+        del stats["hits"], stats["misses"]  # meaningless for a fresh handle
+        if args.json:
+            _print_json(stats)
+        else:
+            print(f"cache {stats['directory']}: {stats['entries']} entries, "
+                  f"{stats['bytes']} bytes")
+    else:
+        removed = cache.clear()
+        if args.json:
+            _print_json({"directory": config.cache_dir, "removed": removed})
+        else:
+            print(f"cache {config.cache_dir}: removed {removed} entries")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Registry-driven branch-predictor simulation runner "
+                    "(a reproduction of Seznec's MICRO 2011 TAGE paper).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
+
+    run = sub.add_parser(
+        "run", help="run one predictor over a trace reference",
+        description="Run one predictor spec over one or more trace references. "
+                    f"Default trace: {_DEFAULT_RUN_TRACE}",
+    )
+    run.add_argument("kind", nargs="?", help="registered predictor kind (see 'repro list predictors')")
+    run.add_argument("--config", metavar="JSON", help="predictor config as a JSON object")
+    run.add_argument("--trace", action="append", metavar="REF",
+                     help="trace reference (repeatable; see 'repro list traces')")
+    run.add_argument("--scenario", default=None, metavar="I|A|B|C",
+                     help="update scenario (default I, immediate)")
+    run.add_argument("--request", metavar="FILE",
+                     help="load a serialized RunRequest JSON instead of building one")
+    run.add_argument("--dump-request", action="store_true",
+                     help="print the request JSON and exit without simulating")
+    run.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_pipeline_options(run)
+    _add_runner_options(run)
+    run.set_defaults(func=_cmd_run)
+
+    suite = sub.add_parser(
+        "suite", help="run a predictors x traces x scenarios cross-product",
+        description="Run every combination of the given predictors, trace references "
+                    "and scenarios, with all (spec, trace) pairs interleaved into one "
+                    "process pool.",
+    )
+    suite.add_argument("--predictor", action="append", required=True, metavar="KIND[=JSON]",
+                       help="predictor kind, optionally with a JSON config (repeatable)")
+    suite.add_argument("--trace", action="append", required=True, metavar="REF",
+                       help="trace reference (repeatable)")
+    suite.add_argument("--scenario", action="append", default=None, metavar="I|A|B|C",
+                       help="update scenario (repeatable; default I)")
+    suite.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_pipeline_options(suite)
+    _add_runner_options(suite)
+    suite.set_defaults(func=_cmd_suite)
+
+    experiment = sub.add_parser(
+        "experiment", help="run a named experiment of the paper's evaluation",
+        description="Run one of the paper's experiments (see 'repro list experiments'). "
+                    "Without --trace, the full CBP-like suite is generated with the "
+                    "given --branches/--seed.",
+    )
+    experiment.add_argument("name", help="experiment name or alias, e.g. fig10 or e11")
+    experiment.add_argument("--trace", action="append", metavar="REF",
+                            help="trace reference (repeatable; traces are concatenated)")
+    experiment.add_argument("--branches", type=int, default=None, metavar="N",
+                            help="branches per generated trace for the default suite "
+                                 "(default 3000; not combinable with --trace)")
+    experiment.add_argument("--seed", type=int, default=None, metavar="S",
+                            help="suite seed for the default suite "
+                                 "(default 2011; not combinable with --trace)")
+    experiment.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_runner_options(experiment)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    lister = sub.add_parser(
+        "list", help="list predictors, trace references or experiments",
+    )
+    lister.add_argument("what", choices=["predictors", "traces", "experiments"])
+    lister.add_argument("--json", action="store_true", help="machine-readable output")
+    lister.set_defaults(func=_cmd_list)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache",
+        description="stats/clear operate on the whole directory: cache keys are "
+                    "hashes, so entries cannot be filtered by version label after "
+                    "the fact (bump REPRO_SUITE_CACHE_VERSION to invalidate a "
+                    "shared cache without deleting it).",
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory; default: REPRO_SUITE_CACHE")
+    cache.add_argument("--json", action="store_true", help="machine-readable output")
+    cache.set_defaults(func=_cmd_cache)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro`` console script and ``python -m repro``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "suite" and not args.scenario:
+            args.scenario = ["I"]
+        if getattr(args, "trace", None):
+            for ref in args.trace:
+                parse_trace_ref(ref)
+        return args.func(args)
+    except CLIError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as error:
+        # TypeError covers predictor factories rejecting config keys, e.g.
+        # --config '{"bogus": 1}' reaching TAGEConfig(**config).  Set
+        # REPRO_DEBUG=1 to get the full traceback instead of the one-liner
+        # (e.g. when a long suite run dies mid-flight).
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        message = error.args[0] if error.args else error
+        print(f"repro: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

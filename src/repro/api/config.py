@@ -1,0 +1,116 @@
+"""Execution-environment configuration for the run API.
+
+Before this module existed every caller read ``REPRO_SUITE_*`` environment
+variables itself (and each invented its own error handling).
+:class:`RunnerConfig` is now the single place those knobs are parsed and
+validated; everything else — experiment drivers, examples, benchmarks, the
+``repro`` CLI — receives a config object.
+
+Environment variables (read by :meth:`RunnerConfig.from_env`):
+
+``REPRO_SUITE_WORKERS``
+    Worker processes for suite execution.  A positive integer, or
+    ``auto`` for ``os.cpu_count()``.  Default 1 (serial).
+``REPRO_SUITE_CACHE``
+    Directory for the on-disk result cache; unset/empty disables caching.
+``REPRO_SUITE_CACHE_VERSION``
+    Operator-controlled label mixed into every cache key, so a shared
+    cache directory can be invalidated wholesale without deleting it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.pipeline.parallel import SuiteCache
+
+__all__ = [
+    "ENV_CACHE",
+    "ENV_CACHE_VERSION",
+    "ENV_WORKERS",
+    "RunnerConfig",
+    "parse_workers",
+]
+
+ENV_WORKERS = "REPRO_SUITE_WORKERS"
+ENV_CACHE = "REPRO_SUITE_CACHE"
+ENV_CACHE_VERSION = "REPRO_SUITE_CACHE_VERSION"
+
+
+def parse_workers(text: str, context: str = "workers") -> int | None:
+    """Parse a worker-count string: a positive integer, or ``auto`` (= None).
+
+    The one implementation behind ``REPRO_SUITE_WORKERS``, the CLI's
+    ``--workers`` and the examples' flags; ``context`` names the knob in
+    the error message.
+    """
+    value = text.strip()
+    if value.lower() == "auto":
+        return None
+    try:
+        workers = int(value)
+    except ValueError:
+        raise ValueError(
+            f"{context} must be a positive integer or 'auto', got {text!r}"
+        ) from None
+    if workers < 1:
+        raise ValueError(f"{context} must be at least 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """How suites execute: worker count and result-cache settings.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes; ``None`` means ``os.cpu_count()``.  Default 1
+        (serial, in-process).
+    cache_dir:
+        Directory for the per-(spec, trace, scenario, config) result
+        cache; ``None`` disables caching.
+    cache_version:
+        Label mixed into every cache key (see
+        :class:`~repro.pipeline.parallel.SuiteCache`).
+    """
+
+    workers: int | None = 1
+    cache_dir: str | None = None
+    cache_version: str = ""
+
+    def __post_init__(self) -> None:
+        if self.workers is not None:
+            if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+                raise ValueError(f"workers must be a positive int or None, got {self.workers!r}")
+            if self.workers < 1:
+                raise ValueError(f"workers must be at least 1, got {self.workers}")
+        if self.cache_dir is not None and not self.cache_dir:
+            object.__setattr__(self, "cache_dir", None)
+        if not isinstance(self.cache_version, str):
+            raise ValueError(f"cache_version must be a string, got {self.cache_version!r}")
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "RunnerConfig":
+        """Build a config from the ``REPRO_SUITE_*`` environment variables.
+
+        Invalid values raise :class:`ValueError` naming the variable —
+        a silently ignored typo in ``REPRO_SUITE_WORKERS=eihgt`` would
+        otherwise run an overnight sweep serially.
+        """
+        env = os.environ if environ is None else environ
+        raw = (env.get(ENV_WORKERS) or "").strip()
+        workers = parse_workers(raw, context=ENV_WORKERS) if raw else 1
+        return cls(
+            workers=workers,
+            cache_dir=(env.get(ENV_CACHE) or "").strip() or None,
+            cache_version=(env.get(ENV_CACHE_VERSION) or "").strip(),
+        )
+
+    def make_cache(self) -> SuiteCache | None:
+        """The configured :class:`SuiteCache`, or ``None`` when disabled."""
+        if not self.cache_dir:
+            return None
+        return SuiteCache(self.cache_dir, cache_version=self.cache_version)

@@ -1,0 +1,96 @@
+"""Named experiments: the paper's evaluation, addressable from outside Python.
+
+Each entry wraps one driver from :mod:`repro.analysis.experiments` under a
+stable name (plus aliases like ``e11``), so the CLI — and any future
+service front-end — can run ``repro experiment fig10`` without importing
+anything.  The drivers themselves execute through the ambient
+:class:`~repro.api.runner.Runner` (see
+:func:`~repro.api.runner.using_runner`), so worker/cache settings chosen
+on the command line apply to every suite an experiment runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis import experiments as drivers
+from repro.analysis.experiments import ExperimentTable
+from repro.traces.trace import Trace
+
+__all__ = ["Experiment", "available_experiments", "find_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One named, runnable experiment of the paper's evaluation."""
+
+    name: str
+    driver: Callable[..., ExperimentTable]
+    description: str
+    aliases: tuple[str, ...] = ()
+
+    def run(self, traces: list[Trace], **kwargs) -> ExperimentTable:
+        """Run the experiment's driver on ``traces``."""
+        return self.driver(traces, **kwargs)
+
+
+_EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment("access-counts", drivers.run_access_counts,
+               "E1 (Section 4.1.1): effective writes after silent-update elimination",
+               aliases=("e1",)),
+    Experiment("update-scenarios", drivers.run_update_scenarios,
+               "E2 (Section 4.1.2): gshare/GEHL/TAGE under scenarios [I]/[A]/[B]/[C]",
+               aliases=("e2",)),
+    Experiment("bank-interleaving", drivers.run_bank_interleaving,
+               "E3 (Section 4.3): 4-way single-port interleaving accuracy and cost",
+               aliases=("e3",)),
+    Experiment("ium", drivers.run_ium_recovery,
+               "E4 (Section 5.1): Immediate Update Mimicker recovery",
+               aliases=("e4",)),
+    Experiment("stack", drivers.run_side_predictor_stack,
+               "E5-E8 (Sections 5.2-6.1): the side-predictor accuracy ladder",
+               aliases=("e5", "side-predictor-stack")),
+    Experiment("history-robustness", drivers.run_history_robustness,
+               "E9 (Section 6.2): robustness to history series and table counts",
+               aliases=("e9",)),
+    Experiment("fig9", drivers.run_fig9_size_sweep,
+               "E10 (Figure 9): TAGE vs TAGE-LSC across storage budgets",
+               aliases=("e10", "fig9-size-sweep")),
+    Experiment("fig10", drivers.run_fig10_hard_traces,
+               "E11 (Figure 10, Section 6.3): comparison on hard vs easy traces",
+               aliases=("e11", "fig10-hard-benchmarks")),
+    Experiment("cost-effective", drivers.run_cost_effective,
+               "E12 (Section 7): interleaving + retire-read elimination on TAGE-LSC",
+               aliases=("e12",)),
+    Experiment("suite-characteristics", drivers.run_suite_characteristics,
+               "E13 (Section 2.2): misprediction share of the hard traces",
+               aliases=("e13",)),
+)
+
+_BY_NAME: dict[str, Experiment] = {}
+for _experiment in _EXPERIMENTS:
+    _BY_NAME[_experiment.name] = _experiment
+    for _alias in _experiment.aliases:
+        _BY_NAME[_alias] = _experiment
+
+
+def available_experiments() -> list[Experiment]:
+    """Every experiment, in the paper's order."""
+    return list(_EXPERIMENTS)
+
+
+def find_experiment(name: str) -> Experiment:
+    """Look an experiment up by name or alias (case-insensitive)."""
+    experiment = _BY_NAME.get(name.strip().lower())
+    if experiment is None:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: "
+            + ", ".join(e.name for e in _EXPERIMENTS)
+        )
+    return experiment
+
+
+def run_experiment(name: str, traces: list[Trace], **kwargs) -> ExperimentTable:
+    """Run the named experiment on ``traces`` and return its table."""
+    return find_experiment(name).run(traces, **kwargs)

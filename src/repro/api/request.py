@@ -1,0 +1,183 @@
+"""The serializable run request: one simulation, described as pure data.
+
+A :class:`RunRequest` bundles everything needed to reproduce one suite run
+— *which predictor* (a registry :class:`~repro.predictors.registry.PredictorSpec`),
+*which traces* (a :mod:`trace reference <repro.traces.refs>` string, never a
+raw branch stream), *which update scenario* and *which pipeline model* —
+and round-trips losslessly through JSON::
+
+    req = RunRequest("tage-lsc", "hard:all?branches=5000", scenario="A")
+    clone = RunRequest.from_dict(json.loads(json.dumps(req.to_dict())))
+    assert clone == req          # and both produce byte-identical results
+
+Because requests are frozen, hashable and pure data, they can be stored in
+files, shipped over the network, queued, diffed and used as cache keys —
+the contract behind the ``repro`` CLI and any future service front-end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.scenarios import UpdateScenario
+from repro.predictors.base import Predictor
+from repro.predictors.registry import PredictorSpec, spec_of
+from repro.traces.refs import parse_trace_ref, resolve_trace_ref
+from repro.traces.trace import Trace
+
+__all__ = ["REQUEST_SCHEMA_VERSION", "RunRequest", "coerce_scenario"]
+
+#: Version of the ``to_dict``/``from_dict`` payload layout.
+REQUEST_SCHEMA_VERSION = 1
+
+_PAYLOAD_KEYS = {"version", "predictor", "trace", "scenario", "pipeline"}
+
+
+def coerce_scenario(value: Any) -> UpdateScenario:
+    """Turn ``"A"``, ``"[A]"``, ``"REREAD_AT_RETIRE"`` or an enum into a scenario."""
+    if isinstance(value, UpdateScenario):
+        return value
+    if isinstance(value, str):
+        text = value.strip().strip("[]")
+        for scenario in UpdateScenario:
+            if text.upper() == scenario.value or text.upper() == scenario.name:
+                return scenario
+    raise ValueError(
+        f"unknown update scenario {value!r}; valid: "
+        + ", ".join(f"{s.value} ({s.name})" for s in UpdateScenario)
+    )
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One (predictor, traces, scenario, pipeline) run, as pure data.
+
+    Attributes
+    ----------
+    predictor:
+        The registry spec to simulate.  The constructor also accepts a
+        registered kind name (``"tage"``) or a registry-built predictor.
+    trace:
+        A trace reference string (``suite:INT01``, ``hard:all``,
+        ``synthetic:loop?iterations=12`` — see :mod:`repro.traces.refs`);
+        validated at construction, resolved only when the request runs.
+    scenario:
+        Update scenario; accepts the enum or its string forms.
+    pipeline:
+        In-flight window model; accepts a :class:`PipelineConfig` or its
+        keyword dict.
+    """
+
+    predictor: PredictorSpec
+    trace: str
+    scenario: UpdateScenario = UpdateScenario.IMMEDIATE
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+
+    def __post_init__(self) -> None:
+        predictor = self.predictor
+        if isinstance(predictor, str):
+            predictor = PredictorSpec(predictor)
+        elif isinstance(predictor, Predictor):
+            predictor = spec_of(predictor)
+        elif not isinstance(predictor, PredictorSpec):
+            raise ValueError(
+                f"predictor must be a PredictorSpec, kind name or registry-built "
+                f"predictor, got {type(predictor).__name__}"
+            )
+        object.__setattr__(self, "predictor", predictor)
+        parse_trace_ref(self.trace)
+        object.__setattr__(self, "scenario", coerce_scenario(self.scenario))
+        pipeline = self.pipeline
+        if isinstance(pipeline, Mapping):
+            known = {field.name for field in dataclasses.fields(PipelineConfig)}
+            unknown = set(pipeline) - known
+            if unknown:
+                raise ValueError(
+                    f"pipeline entry has unknown keys {sorted(unknown)}; valid: {sorted(known)}"
+                )
+            pipeline = PipelineConfig(**pipeline)
+        elif pipeline is None:
+            pipeline = PipelineConfig()
+        elif not isinstance(pipeline, PipelineConfig):
+            raise ValueError(
+                f"pipeline must be a PipelineConfig or a dict, got {type(pipeline).__name__}"
+            )
+        object.__setattr__(self, "pipeline", pipeline)
+
+    def resolve_traces(self) -> list[Trace]:
+        """Resolve the trace reference to the deterministic traces it names."""
+        return resolve_trace_ref(self.trace)
+
+    def to_dict(self) -> dict:
+        """A JSON-pure payload reproducing this request via :meth:`from_dict`.
+
+        Raises :class:`ValueError` when the predictor config holds
+        non-JSON values (e.g. a live ``TAGEConfig`` object) — such specs
+        are runnable but not portable, and silently lossy serialization
+        is worse than an error.
+        """
+        payload = {
+            "version": REQUEST_SCHEMA_VERSION,
+            "predictor": {"kind": self.predictor.kind, "config": self.predictor.config},
+            "trace": self.trace,
+            "scenario": self.scenario.value,
+            "pipeline": dataclasses.asdict(self.pipeline),
+        }
+        try:
+            if json.loads(json.dumps(payload)) != payload:
+                raise TypeError("payload does not survive a JSON round trip")
+        except TypeError as error:
+            raise ValueError(
+                f"request for {self.predictor.kind!r} is not JSON-serializable "
+                f"(predictor config must be pure data): {error}"
+            ) from None
+        return payload
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """:meth:`to_dict` rendered as a JSON string."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunRequest":
+        """Rebuild a request from a :meth:`to_dict` payload (strictly validated)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"run request payload must be a mapping, got {type(payload).__name__}")
+        unknown = set(payload) - _PAYLOAD_KEYS
+        if unknown:
+            raise ValueError(f"run request payload has unknown keys {sorted(unknown)}")
+        version = payload.get("version", REQUEST_SCHEMA_VERSION)
+        if version != REQUEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported run request version {version!r} "
+                f"(this build reads version {REQUEST_SCHEMA_VERSION})"
+            )
+        for required in ("predictor", "trace"):
+            if required not in payload:
+                raise ValueError(f"run request payload is missing {required!r}")
+        predictor = payload["predictor"]
+        if isinstance(predictor, str):
+            spec = PredictorSpec(predictor)
+        elif isinstance(predictor, Mapping) and "kind" in predictor:
+            extra = set(predictor) - {"kind", "config"}
+            if extra:
+                raise ValueError(f"predictor entry has unknown keys {sorted(extra)}")
+            spec = PredictorSpec(predictor["kind"], predictor.get("config") or {})
+        else:
+            raise ValueError(
+                f"predictor entry must be a kind name or {{'kind', 'config'}}, got {predictor!r}"
+            )
+        return cls(
+            predictor=spec,
+            trace=payload["trace"],
+            scenario=payload.get("scenario", UpdateScenario.IMMEDIATE),
+            pipeline=payload.get("pipeline") or PipelineConfig(),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRequest":
+        """Rebuild a request from a JSON string."""
+        return cls.from_dict(json.loads(text))

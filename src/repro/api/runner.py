@@ -1,0 +1,222 @@
+"""The execution facade: one object that runs requests, batches and products.
+
+:class:`Runner` is the single entry point callers use to execute
+simulations.  It owns a :class:`~repro.api.config.RunnerConfig` (workers +
+cache), resolves :mod:`trace references <repro.traces.refs>` (memoised, so
+requests naming the same reference share trace objects), and schedules
+every (spec, trace) pair of a batch or cross-product into **one** process
+pool via :func:`~repro.pipeline.parallel.run_simulations` — the
+multi-spec scheduling the ROADMAP called for: workers stay busy across
+spec and experiment boundaries instead of draining one suite at a time.
+
+Three altitudes, one engine:
+
+* :meth:`Runner.run` — one :class:`~repro.api.request.RunRequest`;
+* :meth:`Runner.run_batch` — many requests, one pool;
+* :meth:`Runner.run_product` — specs x trace refs x scenarios, one pool.
+
+Experiment drivers that already hold live ``Trace`` lists use the
+lower-level :meth:`Runner.run_suite` / :meth:`Runner.run_suites`, which
+share the same scheduling and cache.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.api.config import RunnerConfig
+from repro.api.request import RunRequest, coerce_scenario
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.metrics import SuiteResult
+from repro.pipeline.parallel import SuiteCache, run_simulations
+from repro.pipeline.scenarios import UpdateScenario
+from repro.predictors.base import Predictor
+from repro.predictors.registry import PredictorSpec, spec_of
+from repro.traces.refs import parse_trace_ref, resolve_trace_ref
+from repro.traces.trace import Trace
+
+__all__ = ["Runner", "active_runner", "using_runner"]
+
+#: A suite job: (spec, traces, scenario, pipeline config or None).
+SuiteJob = tuple  # noqa: N816 - simple alias, kept loose for call-site brevity
+
+
+def _coerce_spec(spec: PredictorSpec | str | Predictor) -> PredictorSpec:
+    if isinstance(spec, str):
+        return PredictorSpec(spec)
+    if isinstance(spec, Predictor):
+        return spec_of(spec)
+    if isinstance(spec, PredictorSpec):
+        return spec
+    raise ValueError(f"cannot interpret {type(spec).__name__} as a predictor spec")
+
+
+@dataclass
+class Runner:
+    """Executes run requests through one shared pool and cache.
+
+    Build one from the environment (``Runner.from_env()``) or with an
+    explicit :class:`RunnerConfig`.  The runner is cheap to construct;
+    the process pool only exists while a batch is executing.
+    """
+
+    config: RunnerConfig = field(default_factory=RunnerConfig)
+
+    def __post_init__(self) -> None:
+        self.cache: SuiteCache | None = self.config.make_cache()
+        self._resolved: dict[str, list[Trace]] = {}
+
+    @classmethod
+    def from_env(cls) -> "Runner":
+        """A runner configured from the ``REPRO_SUITE_*`` environment."""
+        return cls(RunnerConfig.from_env())
+
+    # ------------------------------------------------------------------
+    # Trace resolution
+    # ------------------------------------------------------------------
+
+    def resolve(self, ref: str) -> list[Trace]:
+        """Resolve a trace reference, memoised for the runner's lifetime.
+
+        Memoisation is keyed on the *canonical* form, so two requests
+        spelling the same reference differently (parameter order,
+        explicit defaults) still share trace objects — which is what lets
+        the scheduler deduplicate identical (spec, trace, scenario,
+        config) tasks within a batch.
+        """
+        parsed = parse_trace_ref(ref)
+        if parsed.canonical not in self._resolved:
+            self._resolved[parsed.canonical] = resolve_trace_ref(parsed)
+        # A copy: callers may sort/extend their list without corrupting
+        # later resolutions; the Trace objects themselves stay shared,
+        # which is what the scheduler's dedup keys on.
+        return list(self._resolved[parsed.canonical])
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+
+    def run(self, request: RunRequest) -> SuiteResult:
+        """Execute one request and return its suite result."""
+        return self.run_batch([request])[0]
+
+    def run_batch(self, requests: Sequence[RunRequest]) -> list[SuiteResult]:
+        """Execute many requests with every (spec, trace) pair in one pool.
+
+        Results come back in request order; identical runs appearing in
+        several requests are simulated once.
+        """
+        jobs = [
+            (request.predictor, self.resolve(request.trace), request.scenario, request.pipeline)
+            for request in requests
+        ]
+        return self.run_suites(jobs)
+
+    def product(
+        self,
+        predictors: Iterable[PredictorSpec | str | Predictor],
+        traces: Iterable[str],
+        scenarios: Iterable[UpdateScenario | str] = (UpdateScenario.IMMEDIATE,),
+        pipeline: PipelineConfig | None = None,
+    ) -> list[RunRequest]:
+        """The cross-product of specs x trace refs x scenarios as requests.
+
+        Order is deterministic: predictor-major, then trace reference,
+        then scenario — so ``run_product`` output lines up with the
+        arguments however many workers execute it.
+        """
+        specs = [_coerce_spec(spec) for spec in predictors]
+        refs = list(traces)
+        scens = [coerce_scenario(scenario) for scenario in scenarios]
+        if not specs or not refs or not scens:
+            raise ValueError("product needs at least one predictor, trace ref and scenario")
+        return [
+            RunRequest(spec, ref, scenario, pipeline or PipelineConfig())
+            for spec in specs
+            for ref in refs
+            for scenario in scens
+        ]
+
+    def run_product(
+        self,
+        predictors: Iterable[PredictorSpec | str | Predictor],
+        traces: Iterable[str],
+        scenarios: Iterable[UpdateScenario | str] = (UpdateScenario.IMMEDIATE,),
+        pipeline: PipelineConfig | None = None,
+    ) -> list[tuple[RunRequest, SuiteResult]]:
+        """Execute the cross-product through one pool; see :meth:`product`."""
+        requests = self.product(predictors, traces, scenarios, pipeline)
+        return list(zip(requests, self.run_batch(requests)))
+
+    # ------------------------------------------------------------------
+    # Suite execution over live traces (used by the experiment drivers)
+    # ------------------------------------------------------------------
+
+    def run_suite(
+        self,
+        spec: PredictorSpec | str | Predictor,
+        traces: list[Trace],
+        scenario: UpdateScenario = UpdateScenario.IMMEDIATE,
+        pipeline: PipelineConfig | None = None,
+    ) -> SuiteResult:
+        """One spec over a list of already-resolved traces."""
+        return self.run_suites([(spec, traces, scenario, pipeline)])[0]
+
+    def run_suites(self, jobs: Sequence[SuiteJob]) -> list[SuiteResult]:
+        """Many (spec, traces, scenario, pipeline) suites through one pool.
+
+        The flattened (spec, trace) tasks of every job are interleaved
+        into a single :func:`run_simulations` call, so a sweep over many
+        specs keeps every worker busy until the whole batch drains.
+        """
+        flat: list[tuple] = []
+        shape: list[tuple[PredictorSpec, int]] = []
+        for job in jobs:
+            spec, traces, scenario, pipeline = job
+            spec = _coerce_spec(spec)
+            if not traces:
+                raise ValueError("every suite job needs at least one trace")
+            config = pipeline or PipelineConfig()
+            scenario = coerce_scenario(scenario)
+            shape.append((spec, len(traces)))
+            flat.extend((spec, trace, scenario, config) for trace in traces)
+
+        results = run_simulations(flat, max_workers=self.config.workers, cache=self.cache)
+
+        suites: list[SuiteResult] = []
+        cursor = 0
+        for spec, count in shape:
+            chunk = results[cursor : cursor + count]
+            cursor += count
+            suite = SuiteResult(predictor_name=chunk[0].predictor_name)
+            for result in chunk:
+                suite.add(result)
+            suites.append(suite)
+        return suites
+
+
+# ---------------------------------------------------------------------------
+# Ambient runner: lets entry points (the CLI) hand one configured runner to
+# code that is otherwise called without plumbing (the experiment drivers).
+# ---------------------------------------------------------------------------
+
+_ACTIVE: list[Runner] = []
+
+
+def active_runner() -> Runner:
+    """The innermost :func:`using_runner` runner, or a fresh env-configured one."""
+    if _ACTIVE:
+        return _ACTIVE[-1]
+    return Runner.from_env()
+
+
+@contextmanager
+def using_runner(runner: Runner) -> Iterator[Runner]:
+    """Make ``runner`` the ambient runner within the ``with`` block."""
+    _ACTIVE.append(runner)
+    try:
+        yield runner
+    finally:
+        _ACTIVE.pop()

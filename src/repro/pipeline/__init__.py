@@ -35,7 +35,7 @@ with one staged machine and the suite-level drivers built on top of it:
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.engine import SimulationEngine
 from repro.pipeline.metrics import SimulationResult, SuiteResult
-from repro.pipeline.parallel import ParallelSuiteRunner, SuiteCache
+from repro.pipeline.parallel import ParallelSuiteRunner, SuiteCache, run_simulations
 from repro.pipeline.scenarios import UpdateScenario
 from repro.pipeline.simulator import simulate, simulate_delayed, simulate_suite
 
@@ -47,6 +47,7 @@ __all__ = [
     "SuiteCache",
     "SuiteResult",
     "UpdateScenario",
+    "run_simulations",
     "simulate",
     "simulate_delayed",
     "simulate_suite",

@@ -38,7 +38,18 @@ from repro.predictors.base import Predictor
 from repro.predictors.registry import PredictorSpec, spec_of
 from repro.traces.trace import Trace
 
-__all__ = ["ParallelSuiteRunner", "SuiteCache", "trace_fingerprint"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ParallelSuiteRunner",
+    "SuiteCache",
+    "run_simulations",
+    "trace_fingerprint",
+]
+
+#: Version token of the cached-result schema.  Bump whenever the pickled
+#: :class:`SimulationResult` layout or the cache key recipe changes, so
+#: stale entries from older builds are never served.
+CACHE_SCHEMA_VERSION = 2
 
 
 def trace_fingerprint(trace: Trace) -> str:
@@ -62,11 +73,16 @@ class SuiteCache:
 
     One pickle file per result under ``directory``.  The key includes a
     content fingerprint of the trace, so regenerating a suite with
-    different lengths or seeds never produces stale hits.
+    different lengths or seeds never produces stale hits, and a
+    ``cache_version`` label (see
+    :attr:`~repro.api.config.RunnerConfig.cache_version`) that lets
+    operators invalidate a shared cache directory wholesale without
+    deleting it.
     """
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, cache_version: str = "") -> None:
         self.directory = directory
+        self.cache_version = cache_version
         os.makedirs(directory, exist_ok=True)
         self.hits = 0
         self.misses = 0
@@ -80,18 +96,23 @@ class SuiteCache:
         trace: Trace,
         scenario: UpdateScenario,
         config: PipelineConfig,
+        cache_version: str = "",
     ) -> str:
         """Stable cache key for one (spec, trace, scenario, config) run.
 
-        The package version is part of the key, so entries written by an
-        older (possibly differently-behaving) build of the predictors or
-        the engine are never served after an upgrade.
+        The package version and the cache schema version are part of the
+        key, so entries written by an older (possibly
+        differently-behaving) build of the predictors, the engine or the
+        cache itself are never served after an upgrade; ``cache_version``
+        adds an operator-controlled label on top.
         """
         import repro
 
         raw = "|".join(
             (
                 repro.__version__,
+                f"schema{CACHE_SCHEMA_VERSION}",
+                cache_version,
                 spec.cache_key(),
                 trace_fingerprint(trace),
                 scenario.value,
@@ -99,6 +120,63 @@ class SuiteCache:
             )
         )
         return hashlib.sha256(raw.encode()).hexdigest()[:40]
+
+    def key_for(
+        self,
+        spec: PredictorSpec,
+        trace: Trace,
+        scenario: UpdateScenario,
+        config: PipelineConfig,
+    ) -> str:
+        """Cache key under this cache's configured ``cache_version``."""
+        return self.key(spec, trace, scenario, config, cache_version=self.cache_version)
+
+    def stats(self) -> dict:
+        """Entry count and on-disk footprint of the cache directory."""
+        entries = 0
+        total_bytes = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            names = []
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            entries += 1
+            try:
+                total_bytes += os.path.getsize(os.path.join(self.directory, name))
+            except OSError:
+                pass
+        return {
+            "directory": self.directory,
+            "entries": entries,
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number of entries removed.
+
+        Orphaned ``.pkl.tmp.*`` files from interrupted :meth:`put` calls
+        are deleted too but not counted, keeping the number comparable
+        with :meth:`stats`'s ``entries``.
+        """
+        removed = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for name in names:
+            is_entry = name.endswith(".pkl")
+            if not (is_entry or ".pkl.tmp." in name):
+                continue
+            try:
+                os.remove(os.path.join(self.directory, name))
+            except OSError:
+                continue
+            removed += int(is_entry)
+        return removed
 
     def get(self, key: str) -> SimulationResult | None:
         """Return the cached result for ``key``, or None."""
@@ -156,6 +234,64 @@ def _simulate_one(task: tuple) -> SimulationResult:
     return SimulationEngine(predictor, scenario, config).run(trace)
 
 
+def run_simulations(
+    tasks: list[tuple[PredictorSpec, Trace, UpdateScenario, PipelineConfig]],
+    max_workers: int | None = None,
+    cache: SuiteCache | None = None,
+) -> list[SimulationResult]:
+    """Execute (spec, trace, scenario, config) runs through one process pool.
+
+    This is the scheduling core shared by :class:`ParallelSuiteRunner`
+    (one spec over many traces) and :class:`~repro.api.runner.Runner`
+    (batches and cross-products of specs, traces and scenarios): every
+    task, whatever spec it belongs to, is interleaved into the same pool,
+    so workers stay busy across suite and experiment boundaries.
+
+    Results are returned in task order.  Tasks that are literally
+    identical (same spec, same trace object, same scenario and config)
+    are simulated once and share their result.  With ``cache`` set,
+    results already on disk are served without simulating; fresh results
+    are written back.  ``max_workers=None`` means ``os.cpu_count()``;
+    with one worker (or one pending task) everything runs in-process.
+    """
+    if not tasks:
+        return []
+    slots: list[SimulationResult | None] = [None] * len(tasks)
+    keys: dict[int, str] = {}
+    groups: dict[tuple, list[int]] = {}
+    for position, task in enumerate(tasks):
+        spec, trace, scenario, config = task
+        if cache is not None:
+            key = cache.key_for(spec, trace, scenario, config)
+            keys[position] = key
+            cached = cache.get(key)
+            if cached is not None:
+                slots[position] = cached
+                continue
+        groups.setdefault((spec, id(trace), scenario, config), []).append(position)
+
+    if groups:
+        unique = [tasks[positions[0]] for positions in groups.values()]
+        limit = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        workers = max(1, min(limit, len(unique)))
+        if workers == 1:
+            fresh = [_simulate_one(task) for task in unique]
+        else:
+            executor = ProcessPoolExecutor(max_workers=workers)
+            try:
+                fresh = list(executor.map(_simulate_one, unique))
+            finally:
+                executor.shutdown()
+        for positions, result in zip(groups.values(), fresh):
+            for position in positions:
+                slots[position] = result
+            if cache is not None:
+                cache.put(keys[positions[0]], result)
+
+    assert all(result is not None for result in slots)
+    return slots  # type: ignore[return-value]
+
+
 @dataclass
 class ParallelSuiteRunner:
     """Runs one predictor spec over a trace suite with a process pool.
@@ -171,6 +307,9 @@ class ParallelSuiteRunner:
         (or one trace) everything runs in-process.
     cache_dir:
         Opt-in result cache directory; ``None`` disables caching.
+    cache_version:
+        Operator-controlled label mixed into every cache key (see
+        :class:`SuiteCache`).
 
     The aggregates of the returned
     :class:`~repro.pipeline.metrics.SuiteResult` are identical to the
@@ -183,6 +322,7 @@ class ParallelSuiteRunner:
     spec: PredictorSpec
     max_workers: int | None = None
     cache_dir: str | None = None
+    cache_version: str = ""
 
     def __post_init__(self) -> None:
         if isinstance(self.spec, str):
@@ -191,11 +331,11 @@ class ParallelSuiteRunner:
             self.spec = spec_of(self.spec)
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be at least 1")
-        self.cache = SuiteCache(self.cache_dir) if self.cache_dir else None
-
-    def _workers_for(self, pending: int) -> int:
-        limit = self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
-        return max(1, min(limit, pending))
+        self.cache = (
+            SuiteCache(self.cache_dir, cache_version=self.cache_version)
+            if self.cache_dir
+            else None
+        )
 
     def run(
         self,
@@ -207,41 +347,9 @@ class ParallelSuiteRunner:
         if not traces:
             raise ValueError("ParallelSuiteRunner.run needs at least one trace")
         config = config or PipelineConfig()
-
-        slots: list[SimulationResult | None] = [None] * len(traces)
-        pending: list[tuple[int, Trace]] = []
-        keys: dict[int, str] = {}
-        if self.cache is not None:
-            for position, trace in enumerate(traces):
-                key = self.cache.key(self.spec, trace, scenario, config)
-                keys[position] = key
-                cached = self.cache.get(key)
-                if cached is not None:
-                    slots[position] = cached
-                else:
-                    pending.append((position, trace))
-        else:
-            pending = list(enumerate(traces))
-
-        if pending:
-            workers = self._workers_for(len(pending))
-            tasks = [(self.spec, trace, scenario, config) for _, trace in pending]
-            if workers == 1:
-                fresh = map(_simulate_one, tasks)
-            else:
-                executor = ProcessPoolExecutor(max_workers=workers)
-                try:
-                    fresh = list(executor.map(_simulate_one, tasks))
-                finally:
-                    executor.shutdown()
-            for (position, _), result in zip(pending, fresh):
-                slots[position] = result
-                if self.cache is not None:
-                    self.cache.put(keys[position], result)
-
-        name = slots[0].predictor_name if slots and slots[0] else self.spec.kind
-        suite = SuiteResult(predictor_name=name)
-        for result in slots:
-            assert result is not None
+        tasks = [(self.spec, trace, scenario, config) for trace in traces]
+        results = run_simulations(tasks, max_workers=self.max_workers, cache=self.cache)
+        suite = SuiteResult(predictor_name=results[0].predictor_name)
+        for result in results:
             suite.add(result)
         return suite

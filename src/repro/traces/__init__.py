@@ -15,10 +15,20 @@ synthetic substitute:
   with the same category structure and the same "7 hard traces dominate
   the misprediction count" property as the CBP-3 set (Section 2.2),
 * :mod:`repro.traces.io` — save/load of traces so expensive suites can be
-  generated once and replayed.
+  generated once and replayed,
+* :mod:`repro.traces.refs` — trace *references*: strings like
+  ``suite:INT01``, ``hard:all`` or ``synthetic:loop?iterations=12`` that
+  resolve deterministically to traces, so run requests
+  (:mod:`repro.api`) can name traces without embedding branch streams.
 """
 
 from repro.traces.io import load_trace, save_trace
+from repro.traces.refs import (
+    TraceRef,
+    parse_trace_ref,
+    resolve_trace_ref,
+    trace_ref_catalogue,
+)
 from repro.traces.suite import (
     CATEGORIES,
     HARD_TRACES,
@@ -53,11 +63,15 @@ __all__ = [
     "PointerChaseBranch",
     "SuiteSpec",
     "Trace",
+    "TraceRef",
     "WorkloadSpec",
     "generate_suite",
     "generate_trace",
     "generate_workload",
     "load_trace",
+    "parse_trace_ref",
+    "resolve_trace_ref",
     "save_trace",
     "trace_names",
+    "trace_ref_catalogue",
 ]

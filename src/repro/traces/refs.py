@@ -1,0 +1,342 @@
+"""Trace references: strings that name traces, resolvable to :class:`Trace` objects.
+
+The run API (:mod:`repro.api`) describes simulations as pure data; a
+:class:`~repro.api.request.RunRequest` therefore never embeds a raw branch
+stream.  Instead it carries a *trace reference* — a short string in one of
+three schemes — and the resolver in this module turns it back into the
+deterministic trace(s) it names:
+
+``suite:<NAME>[?branches=..&seed=..]``
+    One named trace of the CBP-like benchmark suite (``suite:INT01``), a
+    whole category (``suite:MM``) or the full 40-trace set (``suite:all``).
+    Category and ``all`` references also accept ``count`` (traces per
+    category, default 8).
+
+``hard:<NAME>`` / ``hard:all``
+    The Section 2.2 "high misprediction rate" traces only; ``<NAME>`` must
+    be one of the seven designated hard traces.
+
+``synthetic:<generator>[?seed=..&length=..&<params>]``
+    A freshly generated single-behaviour (or ``mixed``) workload built from
+    the behaviour classes in :mod:`repro.traces.synthetic`; see
+    :data:`GENERATORS`.
+
+Resolution is deterministic: the same reference always yields bit-identical
+traces, which is what lets references key result caches and travel through
+JSON run requests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.traces.suite import CATEGORIES, HARD_TRACES, generate_trace
+from repro.traces.synthetic import (
+    BiasedBranch,
+    GloballyCorrelatedBranch,
+    LocalPatternBranch,
+    LoopBranch,
+    PointerChaseBranch,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.traces.trace import Trace
+
+__all__ = [
+    "GENERATORS",
+    "TRACE_REF_SCHEMES",
+    "TraceRef",
+    "parse_trace_ref",
+    "resolve_trace_ref",
+    "trace_ref_catalogue",
+]
+
+TRACE_REF_SCHEMES: tuple[str, ...] = ("suite", "hard", "synthetic")
+
+_SUITE_DEFAULTS = {"branches": (int, 50_000), "seed": (int, 2011)}
+_SYNTH_DEFAULTS = {"length": (int, 5_000), "seed": (int, 2011)}
+
+
+def _biased_spec(p: dict) -> WorkloadSpec:
+    return WorkloadSpec().add(BiasedBranch(0x1000, p["bias"]))
+
+
+def _loop_spec(p: dict) -> WorkloadSpec:
+    return WorkloadSpec().add(
+        LoopBranch(
+            0x1000,
+            iterations=p["iterations"],
+            body_branches=p["body_branches"],
+            body_bias=p["body_bias"],
+            iteration_jitter=p["jitter"],
+        )
+    )
+
+
+def _local_pattern_spec(p: dict) -> WorkloadSpec:
+    rng = random.Random(p["seed"] ^ 0x5BD1E995)
+    pattern = tuple(rng.random() < 0.5 for _ in range(p["period"]))
+    spec = WorkloadSpec()
+    spec.add(LocalPatternBranch(0x1000, pattern, pattern_count=p["pattern_count"]), weight=2.0)
+    # Interleaved noise branches scramble the global history, which is what
+    # makes the pattern a *local*-history phenomenon (Section 6).
+    spec.add(BiasedBranch(0x2000, 0.6), weight=1.0)
+    return spec
+
+
+def _pointer_chase_spec(p: dict) -> WorkloadSpec:
+    return WorkloadSpec().add(
+        PointerChaseBranch(
+            0x4_000_000,
+            static_branches=p["static_branches"],
+            bias_low=p["bias_low"],
+            bias_high=p["bias_high"],
+        )
+    )
+
+
+def _correlated_spec(p: dict) -> WorkloadSpec:
+    spec = WorkloadSpec()
+    spec.add(BiasedBranch(0x1000, p["source_bias"]), weight=1.0)
+    for copy in range(p["copies"]):
+        spec.add(
+            GloballyCorrelatedBranch(
+                0x2000 + 0x100 * copy, source_pc=0x1000,
+                invert=copy % 2 == 1, noise=p["noise"],
+            ),
+            weight=2.0,
+        )
+    return spec
+
+
+def _mixed_spec(p: dict) -> WorkloadSpec:
+    spec = WorkloadSpec()
+    spec.add(LoopBranch(0x1000, iterations=12, body_branches=2, body_bias=0.85), weight=2.0)
+    spec.add(BiasedBranch(0x2000, 0.92), weight=3.0)
+    spec.add(BiasedBranch(0x3000, 0.65), weight=2.0)
+    spec.add(GloballyCorrelatedBranch(0x4000, source_pc=0x3000), weight=2.0)
+    spec.add(LocalPatternBranch(0x5000, (True, True, False, True, False, False)), weight=2.0)
+    return spec
+
+
+#: generator name -> (parameter schema ``{name: (type, default)}``, builder,
+#: one-line description).  The common ``length``/``seed`` parameters apply
+#: to every generator.
+GENERATORS: dict = {
+    "biased": (
+        {"bias": (float, 0.7)},
+        _biased_spec,
+        "one i.i.d. branch with a fixed taken probability (SC fodder)",
+    ),
+    "loop": (
+        {
+            "iterations": (int, 10),
+            "body_branches": (int, 0),
+            "body_bias": (float, 0.7),
+            "jitter": (int, 0),
+        },
+        _loop_spec,
+        "a loop-closing branch, optionally with an erratic body",
+    ),
+    "local-pattern": (
+        {"period": (int, 8), "pattern_count": (int, 1)},
+        _local_pattern_spec,
+        "a branch repeating a fixed local-history pattern",
+    ),
+    "pointer-chase": (
+        {
+            "static_branches": (int, 256),
+            "bias_low": (float, 0.6),
+            "bias_high": (float, 0.95),
+        },
+        _pointer_chase_spec,
+        "a large static footprint visited in data-dependent order",
+    ),
+    "correlated": (
+        {"copies": (int, 3), "source_bias": (float, 0.6), "noise": (float, 0.0)},
+        _correlated_spec,
+        "branches copying an earlier weakly-biased source branch",
+    ),
+    "mixed": (
+        {},
+        _mixed_spec,
+        "one representative of every behaviour class",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TraceRef:
+    """A parsed, validated trace reference.
+
+    ``params`` holds every parameter with defaults filled in;
+    ``canonical`` is the normalised string form (defaults dropped, keys
+    sorted), which doubles as the trace name for synthetic references.
+    """
+
+    scheme: str
+    name: str
+    params: tuple[tuple[str, int | float], ...]
+    canonical: str
+
+    def param(self, key: str) -> int | float:
+        """Return one resolved parameter value."""
+        for name, value in self.params:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+
+def _format_value(value: int | float) -> str:
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _parse_params(query: str, schema: dict, ref: str) -> dict:
+    """Parse ``k=v&k=v`` against ``schema``, filling defaults, or raise."""
+    values = {key: default for key, (_, default) in schema.items()}
+    if not query:
+        return values
+    seen: set[str] = set()
+    for part in query.split("&"):
+        key, sep, raw = part.partition("=")
+        if not sep or not key or not raw:
+            raise ValueError(f"trace ref {ref!r}: malformed parameter {part!r} (expected k=v)")
+        if key not in schema:
+            raise ValueError(
+                f"trace ref {ref!r}: unknown parameter {key!r}; "
+                f"valid: {sorted(schema)}"
+            )
+        if key in seen:
+            raise ValueError(f"trace ref {ref!r}: duplicate parameter {key!r}")
+        seen.add(key)
+        kind = schema[key][0]
+        try:
+            values[key] = kind(raw)
+        except ValueError:
+            raise ValueError(
+                f"trace ref {ref!r}: parameter {key!r} must be {kind.__name__}, got {raw!r}"
+            ) from None
+    return values
+
+
+def parse_trace_ref(ref: str) -> TraceRef:
+    """Parse and validate a trace reference string.
+
+    Raises :class:`ValueError` on unknown schemes, names, generators or
+    parameters — never on resolvable references, so parsing doubles as the
+    cheap validation step for run requests.
+    """
+    if not isinstance(ref, str) or not ref:
+        raise ValueError(f"trace ref must be a non-empty string, got {ref!r}")
+    scheme, sep, rest = ref.partition(":")
+    if not sep or scheme not in TRACE_REF_SCHEMES:
+        raise ValueError(
+            f"trace ref {ref!r} must start with one of "
+            f"{', '.join(s + ':' for s in TRACE_REF_SCHEMES)}"
+        )
+    name, _, query = rest.partition("?")
+    if not name:
+        raise ValueError(f"trace ref {ref!r} names no trace (e.g. 'suite:INT01')")
+
+    if scheme == "suite":
+        schema = dict(_SUITE_DEFAULTS)
+        if name == "all" or name in CATEGORIES:
+            schema["count"] = (int, 8)
+        else:
+            category = name.rstrip("0123456789")
+            if category not in CATEGORIES or category == name:
+                raise ValueError(
+                    f"trace ref {ref!r}: unknown suite trace {name!r} "
+                    f"(expected all, a category {list(CATEGORIES)} or e.g. 'INT01')"
+                )
+    elif scheme == "hard":
+        # hard:all always names exactly the seven designated traces, so no
+        # count parameter exists on this scheme.
+        schema = dict(_SUITE_DEFAULTS)
+        if name != "all" and name not in HARD_TRACES:
+            raise ValueError(
+                f"trace ref {ref!r}: {name!r} is not a designated hard trace; "
+                f"valid: all, {', '.join(sorted(HARD_TRACES))}"
+            )
+    else:
+        if name not in GENERATORS:
+            raise ValueError(
+                f"trace ref {ref!r}: unknown generator {name!r}; "
+                f"valid: {sorted(GENERATORS)}"
+            )
+        schema = dict(_SYNTH_DEFAULTS)
+        schema.update(GENERATORS[name][0])
+
+    params = _parse_params(query, schema, ref)
+    non_default = {
+        key: value for key, value in params.items() if value != schema[key][1]
+    }
+    canonical = f"{scheme}:{name}"
+    if non_default:
+        canonical += "?" + "&".join(
+            f"{key}={_format_value(non_default[key])}" for key in sorted(non_default)
+        )
+    return TraceRef(
+        scheme=scheme,
+        name=name,
+        params=tuple(sorted(params.items())),
+        canonical=canonical,
+    )
+
+
+def _suite_names(ref: TraceRef) -> list[str]:
+    """Expand a suite/hard reference into concrete trace names."""
+    if ref.scheme == "hard":
+        return sorted(HARD_TRACES) if ref.name == "all" else [ref.name]
+    if ref.name == "all":
+        count = int(ref.param("count"))
+        return [f"{cat}{i:02d}" for cat in CATEGORIES for i in range(1, count + 1)]
+    if ref.name in CATEGORIES:
+        count = int(ref.param("count"))
+        return [f"{ref.name}{i:02d}" for i in range(1, count + 1)]
+    return [ref.name]
+
+
+def resolve_trace_ref(ref: str | TraceRef) -> list[Trace]:
+    """Resolve a trace reference to the (deterministic) traces it names."""
+    parsed = parse_trace_ref(ref) if isinstance(ref, str) else ref
+    if parsed.scheme in ("suite", "hard"):
+        branches = int(parsed.param("branches"))
+        seed = int(parsed.param("seed"))
+        return [
+            generate_trace(name, branches_per_trace=branches, seed=seed)
+            for name in _suite_names(parsed)
+        ]
+    _, builder, _ = GENERATORS[parsed.name]
+    params = dict(parsed.params)
+    spec = builder(params)
+    return [
+        generate_workload(
+            spec,
+            branch_count=int(params["length"]),
+            seed=int(params["seed"]),
+            name=parsed.canonical,
+            category="SYNTHETIC",
+        )
+    ]
+
+
+def trace_ref_catalogue() -> list[tuple[str, str]]:
+    """``(pattern, description)`` rows describing every reference form.
+
+    Backs ``repro list traces``.
+    """
+    rows = [
+        ("suite:all[?branches=N&seed=S&count=K]", "the full CBP-like suite (count traces per category)"),
+        ("suite:<CATEGORY>", f"one category: {', '.join(CATEGORIES)}"),
+        ("suite:<NAME>", "one named trace, e.g. suite:INT01"),
+        ("hard:all", "the seven Section 2.2 high-misprediction traces"),
+        ("hard:<NAME>", f"one of: {', '.join(sorted(HARD_TRACES))}"),
+    ]
+    for name, (schema, _, description) in sorted(GENERATORS.items()):
+        params = ["length=N", "seed=S"] + [
+            f"{key}={_format_value(default)}" for key, (_, default) in schema.items()
+        ]
+        rows.append((f"synthetic:{name}[?{'&'.join(params)}]", description))
+    return rows

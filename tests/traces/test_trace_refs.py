@@ -1,0 +1,106 @@
+"""Tests for trace references (parse, canonicalisation, resolution)."""
+
+import pytest
+
+from repro.traces.refs import (
+    GENERATORS,
+    TraceRef,
+    parse_trace_ref,
+    resolve_trace_ref,
+    trace_ref_catalogue,
+)
+from repro.traces.suite import CATEGORIES, HARD_TRACES, generate_trace
+
+
+class TestParse:
+    def test_suite_single_trace(self):
+        ref = parse_trace_ref("suite:INT01?branches=500&seed=7")
+        assert ref.scheme == "suite" and ref.name == "INT01"
+        assert ref.param("branches") == 500 and ref.param("seed") == 7
+
+    def test_canonical_drops_defaults_and_sorts_keys(self):
+        ref = parse_trace_ref("suite:INT01?seed=2011&branches=500")
+        assert ref.canonical == "suite:INT01?branches=500"
+        assert parse_trace_ref(ref.canonical).canonical == ref.canonical
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="must start with"):
+            parse_trace_ref("bench:INT01")
+
+    def test_unknown_suite_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite trace"):
+            parse_trace_ref("suite:GOBMK01")
+
+    def test_hard_requires_designated_trace(self):
+        with pytest.raises(ValueError, match="not a designated hard trace"):
+            parse_trace_ref("hard:INT03")
+        assert parse_trace_ref("hard:INT01").name == "INT01"
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ValueError, match="unknown generator"):
+            parse_trace_ref("synthetic:fractal")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            parse_trace_ref("synthetic:biased?slope=2")
+
+    def test_malformed_and_duplicate_parameters_rejected(self):
+        with pytest.raises(ValueError, match="malformed parameter"):
+            parse_trace_ref("suite:INT01?branches")
+        with pytest.raises(ValueError, match="duplicate parameter"):
+            parse_trace_ref("suite:INT01?seed=1&seed=2")
+
+    def test_type_errors_name_the_parameter(self):
+        with pytest.raises(ValueError, match="'branches' must be int"):
+            parse_trace_ref("suite:INT01?branches=many")
+
+    def test_count_only_on_expanding_suite_refs(self):
+        assert parse_trace_ref("suite:all?count=2").param("count") == 2
+        with pytest.raises(ValueError, match="unknown parameter"):
+            parse_trace_ref("suite:INT01?count=2")
+        # hard:all always names exactly the seven designated traces, so a
+        # count parameter would silently lie about what resolves.
+        with pytest.raises(ValueError, match="unknown parameter"):
+            parse_trace_ref("hard:all?count=3")
+
+    def test_ref_is_hashable_pure_data(self):
+        ref = parse_trace_ref("hard:all")
+        assert isinstance(ref, TraceRef)
+        assert hash(ref) == hash(parse_trace_ref("hard:all"))
+
+
+class TestResolve:
+    def test_suite_single_matches_generate_trace(self):
+        [trace] = resolve_trace_ref("suite:INT01?branches=400&seed=5")
+        expected = generate_trace("INT01", branches_per_trace=400, seed=5)
+        assert trace.name == expected.name
+        assert [r.pc for r in trace] == [r.pc for r in expected]
+        assert [r.taken for r in trace] == [r.taken for r in expected]
+
+    def test_hard_all_yields_the_seven_hard_traces(self):
+        traces = resolve_trace_ref("hard:all?branches=200")
+        assert [t.name for t in traces] == sorted(HARD_TRACES)
+        assert all(t.hard for t in traces)
+
+    def test_category_and_count_expansion(self):
+        traces = resolve_trace_ref("suite:MM?branches=200&count=3")
+        assert [t.name for t in traces] == ["MM01", "MM02", "MM03"]
+        everything = resolve_trace_ref("suite:all?branches=200&count=1")
+        assert len(everything) == len(CATEGORIES)
+
+    def test_synthetic_is_deterministic(self):
+        [a] = resolve_trace_ref("synthetic:loop?iterations=12&length=300&seed=3")
+        [b] = resolve_trace_ref("synthetic:loop?length=300&seed=3&iterations=12")
+        assert a.name == b.name == "synthetic:loop?iterations=12&length=300&seed=3"
+        assert [r.taken for r in a] == [r.taken for r in b]
+
+    def test_every_generator_resolves(self):
+        for generator in GENERATORS:
+            [trace] = resolve_trace_ref(f"synthetic:{generator}?length=150&seed=2")
+            assert len(trace) >= 150
+            assert trace.category == "SYNTHETIC"
+
+    def test_catalogue_covers_all_generators(self):
+        text = " ".join(pattern for pattern, _ in trace_ref_catalogue())
+        for generator in GENERATORS:
+            assert f"synthetic:{generator}" in text
