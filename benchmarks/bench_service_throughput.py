@@ -1,0 +1,132 @@
+"""Service throughput: cold pool vs. persistent warm pool, and HTTP latency.
+
+Not a paper experiment — this bench justifies the service architecture:
+a long-lived :class:`~repro.pipeline.parallel.WorkerPool` whose workers
+keep warm predictor instances must beat rebuilding a process pool per
+batch when many small requests arrive back to back (the ROADMAP's
+many-small-requests scenario).  Three measurements:
+
+* **cold pool** — a fresh ephemeral-mode :class:`Runner` per request
+  round: every round pays process spawn + predictor construction,
+* **persistent pool** — one persistent-mode runner across all rounds:
+  spawn once, predictors stay warm,
+* **HTTP end-to-end** — the same rounds as ``POST /v1/runs?wait=1``
+  against a live in-process server, reporting requests/sec and
+  p50/p95 latency.
+
+Quick mode (``REPRO_BENCH_BRANCHES=500``) keeps the whole file under ~20 s.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+
+from benchmarks.conftest import BENCH_BRANCHES, run_once
+from repro.api import Runner, RunnerConfig, RunRequest
+from repro.service import ServiceClient, SimulationService, make_server
+
+#: Each round is one small mixed-spec batch — two tasks, so the pool
+#: (not the serial fallback) executes it.
+ROUNDS = 8
+_POOL_WORKERS = 2
+
+
+def _requests(round_index: int) -> list[RunRequest]:
+    # Alternate trace seeds so rounds are distinct work, same shape.
+    seed = 4 + (round_index % 2)
+    return [
+        RunRequest("gshare", f"synthetic:biased?length={BENCH_BRANCHES}&seed={seed}"),
+        RunRequest("bimodal", f"synthetic:loop?iterations=9&length={BENCH_BRANCHES}&seed={seed}"),
+    ]
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _report(label: str, latencies: list[float]) -> None:
+    total = sum(latencies)
+    print(f"\n{label}: {len(latencies) / total:,.1f} req/s, "
+          f"p50 {1000 * statistics.median(latencies):.1f} ms, "
+          f"p95 {1000 * _percentile(latencies, 0.95):.1f} ms "
+          f"({len(latencies)} rounds)")
+
+
+def _drive(runner_factory) -> list[float]:
+    """Per-round wall-clock latencies; each round may build its own runner."""
+    latencies = []
+    for round_index in range(ROUNDS):
+        requests = _requests(round_index)
+        start = time.perf_counter()
+        with runner_factory() as runner:
+            runner.run_batch(requests)
+        latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def test_bench_cold_vs_persistent_pool(benchmark):
+    def measure():
+        cold = _drive(lambda: Runner(RunnerConfig(workers=_POOL_WORKERS)))
+        warm_runner = Runner(RunnerConfig(workers=_POOL_WORKERS), persistent=True)
+        with warm_runner:
+            warm = []
+            for round_index in range(ROUNDS):
+                requests = _requests(round_index)
+                start = time.perf_counter()
+                warm_runner.run_batch(requests)
+                warm.append(time.perf_counter() - start)
+            pool_stats = warm_runner.pool.stats()
+        return cold, warm, pool_stats
+
+    cold, warm, pool_stats = run_once(benchmark, measure)
+    _report("cold pool (fresh executor per round)", cold)
+    _report("persistent pool (warm workers)", warm)
+    print(f"warm hit rate: {pool_stats['warm_hit_rate']:.0%} "
+          f"({pool_stats['warm_hits']}/{pool_stats['tasks_executed']} tasks)")
+    benchmark.extra_info["cold_mean_ms"] = round(1000 * statistics.mean(cold), 2)
+    benchmark.extra_info["warm_mean_ms"] = round(1000 * statistics.mean(warm), 2)
+    benchmark.extra_info["warm_hit_rate"] = round(pool_stats["warm_hit_rate"], 3)
+    # The architectural claim: once spawned, the warm pool beats paying
+    # process construction every round.  Compare steady-state rounds
+    # (skip each path's first round to exclude one-off startup noise).
+    assert statistics.mean(warm[1:]) < statistics.mean(cold[1:]), (warm, cold)
+    assert pool_stats["warm_hits"] > 0
+
+
+def test_bench_http_service_latency(benchmark):
+    service = SimulationService(
+        runner=Runner(RunnerConfig(workers=_POOL_WORKERS), persistent=True)
+    ).start()
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(server.url)
+
+    def measure():
+        latencies = []
+        for round_index in range(ROUNDS):
+            payload = [request.to_dict() for request in _requests(round_index)]
+            start = time.perf_counter()
+            document = client.submit(payload, wait=True, timeout=120)
+            latencies.append(time.perf_counter() - start)
+            assert document["status"] == "done", document
+        return latencies
+
+    try:
+        latencies = run_once(benchmark, measure)
+        stats = client.stats()
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=10)
+
+    _report("HTTP POST /v1/runs?wait=1 (persistent pool)", latencies)
+    benchmark.extra_info["http_p50_ms"] = round(1000 * statistics.median(latencies), 2)
+    benchmark.extra_info["http_p95_ms"] = round(1000 * _percentile(latencies, 0.95), 2)
+    assert stats["jobs"]["completed"] == ROUNDS
+    assert stats["pool"]["warm_hits"] > 0

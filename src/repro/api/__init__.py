@@ -15,7 +15,11 @@ This package is the front door for executing simulations:
   (``run_experiment("fig10", traces)``),
 * :mod:`repro.api.cli` — the ``repro`` console command
   (``repro run``, ``repro suite``, ``repro experiment``, ``repro list``,
-  ``repro cache``; also ``python -m repro``).
+  ``repro cache``, ``repro serve``, ``repro submit``; also
+  ``python -m repro``),
+* :func:`~repro.api.results.suite_payload` — the one JSON rendering of a
+  finished run, shared by the CLI and the HTTP service
+  (:mod:`repro.service`).
 
 The three-line version::
 
@@ -26,6 +30,7 @@ The three-line version::
 
 from repro.api.config import RunnerConfig
 from repro.api.request import RunRequest
+from repro.api.results import suite_payload
 from repro.api.runner import Runner, active_runner, using_runner
 
 __all__ = [
@@ -33,5 +38,6 @@ __all__ = [
     "Runner",
     "RunnerConfig",
     "active_runner",
+    "suite_payload",
     "using_runner",
 ]

@@ -10,7 +10,9 @@ references and the named experiments)::
     repro suite --predictor tage --predictor tage-lsc --trace suite:INT --scenario A
     repro experiment fig10 --branches 3000
     repro list predictors|traces|experiments
-    repro cache stats|clear
+    repro cache stats|clear|prune
+    repro serve --port 8321 --workers auto
+    repro submit tage --url http://127.0.0.1:8321 --trace hard:MM05 --json
 
 Defaults for workers and caching come from the ``REPRO_SUITE_*``
 environment (one parser: :meth:`~repro.api.config.RunnerConfig.from_env`);
@@ -28,12 +30,12 @@ import os
 import sys
 from typing import Any, Sequence
 
-from repro.api.config import RunnerConfig, parse_workers
+from repro.api.config import RunnerConfig, parse_cache_max_mb, parse_workers
 from repro.api.experiments import available_experiments, find_experiment
 from repro.api.request import RunRequest
+from repro.api.results import suite_payload
 from repro.api.runner import Runner, using_runner
 from repro.pipeline.config import PipelineConfig
-from repro.pipeline.metrics import SuiteResult
 from repro.pipeline.parallel import SuiteCache
 from repro.predictors.registry import PredictorSpec, describe
 from repro.traces.refs import parse_trace_ref, trace_ref_catalogue
@@ -57,6 +59,13 @@ def _parse_workers(value: str) -> int | None:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def _parse_cache_max_mb(value: str) -> float:
+    try:
+        return parse_cache_max_mb(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def _add_runner_options(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("execution")
     group.add_argument("--workers", type=_parse_workers, default=_UNSET, metavar="N",
@@ -66,6 +75,9 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                        help="result cache directory; default: REPRO_SUITE_CACHE")
     group.add_argument("--cache-version", default=None, metavar="LABEL",
                        help="cache key label; default: REPRO_SUITE_CACHE_VERSION")
+    group.add_argument("--cache-max-mb", type=_parse_cache_max_mb, default=None, metavar="MB",
+                       help="size bound for the result cache (LRU eviction); "
+                            "default: REPRO_SUITE_CACHE_MAX_MB")
 
 
 def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
@@ -87,6 +99,8 @@ def _runner_config(args: argparse.Namespace) -> RunnerConfig:
         config = dataclasses.replace(config, cache_dir=args.cache_dir or None)
     if getattr(args, "cache_version", None) is not None:
         config = dataclasses.replace(config, cache_version=args.cache_version)
+    if getattr(args, "cache_max_mb", None) is not None:
+        config = dataclasses.replace(config, cache_max_mb=args.cache_max_mb)
     return config
 
 
@@ -113,22 +127,8 @@ def _load_config_json(text: str | None, context: str) -> dict:
     return config
 
 
-def _suite_payload(request: RunRequest, result: SuiteResult) -> dict[str, Any]:
-    branches = result.branches
-    return {
-        "predictor": result.predictor_name,
-        "spec": {"kind": request.predictor.kind, "config": request.predictor.config},
-        "trace": request.trace,
-        "scenario": request.scenario.value,
-        "traces": len(result.results),
-        "branches": branches,
-        "instructions": result.instructions,
-        "mispredictions": result.mispredictions,
-        "accuracy": (branches - result.mispredictions) / branches if branches else 0.0,
-        "mpki": result.mpki,
-        "mppki": result.mppki,
-        "per_trace": result.per_trace(),
-    }
+#: One rendering for CLI and service alike (see :mod:`repro.api.results`).
+_suite_payload = suite_payload
 
 
 def _print_json(payload: Any) -> None:
@@ -146,9 +146,10 @@ def _format_table(headers: list[str], rows: list[list]) -> str:
 # ---------------------------------------------------------------------------
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _build_requests(args: argparse.Namespace, context: str) -> list[RunRequest]:
+    """Requests from ``run``/``submit``-style arguments (kind or --request)."""
     if bool(args.request) == bool(args.kind):
-        raise CLIError("run: give either a predictor kind or --request FILE (not both)")
+        raise CLIError(f"{context}: give either a predictor kind or --request FILE (not both)")
     if args.request:
         # The file IS the request; silently overriding parts of it would
         # let the user attribute one run's numbers to another's settings.
@@ -164,35 +165,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ]
         if conflicting:
             raise CLIError(
-                f"run: {', '.join(conflicting)} cannot be combined with --request; "
+                f"{context}: {', '.join(conflicting)} cannot be combined with --request; "
                 "edit the request file instead"
             )
         try:
             with open(args.request, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, json.JSONDecodeError) as error:
-            raise CLIError(f"run: cannot read request file {args.request!r}: {error}") from None
+            raise CLIError(
+                f"{context}: cannot read request file {args.request!r}: {error}"
+            ) from None
         # --dump-request writes a single object for one trace and a list for
         # several; accept both so every dump replays.
         entries = payload if isinstance(payload, list) else [payload]
-        requests = [RunRequest.from_dict(entry) for entry in entries]
-    else:
-        spec = PredictorSpec(args.kind, _load_config_json(args.config, "run"))
-        refs = args.trace or [_DEFAULT_RUN_TRACE]
-        pipeline = _pipeline(args)
-        scenario = args.scenario if args.scenario is not None else "I"
-        requests = [RunRequest(spec, ref, scenario, pipeline) for ref in refs]
+        return [RunRequest.from_dict(entry) for entry in entries]
+    spec = PredictorSpec(args.kind, _load_config_json(args.config, context))
+    refs = args.trace or [_DEFAULT_RUN_TRACE]
+    pipeline = _pipeline(args)
+    scenario = args.scenario if args.scenario is not None else "I"
+    return [RunRequest(spec, ref, scenario, pipeline) for ref in refs]
+
+
+def _print_result_payloads(payloads: list[dict]) -> None:
+    """One object for one request, a list for several (the run/submit shape)."""
+    _print_json(payloads[0] if len(payloads) == 1 else payloads)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    requests = _build_requests(args, "run")
 
     if args.dump_request:
         payloads = [request.to_dict() for request in requests]
-        _print_json(payloads[0] if len(payloads) == 1 else payloads)
+        _print_result_payloads(payloads)
         return 0
 
-    runner = Runner(_runner_config(args))
-    results = runner.run_batch(requests)
+    with Runner(_runner_config(args)) as runner:
+        results = runner.run_batch(requests)
     payloads = [_suite_payload(request, result) for request, result in zip(requests, results)]
     if args.json:
-        _print_json(payloads[0] if len(payloads) == 1 else payloads)
+        _print_result_payloads(payloads)
     else:
         for request, result in zip(requests, results):
             print(f"{request.trace} {request.scenario.label}: {result.summary()}")
@@ -205,8 +216,8 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         kind, sep, config_text = entry.partition("=")
         config = _load_config_json(config_text if sep else None, f"suite: predictor {kind!r}")
         specs.append(PredictorSpec(kind, config))
-    runner = Runner(_runner_config(args))
-    pairs = runner.run_product(specs, args.trace, args.scenario, _pipeline(args))
+    with Runner(_runner_config(args)) as runner:
+        pairs = runner.run_product(specs, args.trace, args.scenario, _pipeline(args))
     payloads = [_suite_payload(request, result) for request, result in pairs]
     if args.json:
         _print_json(payloads)
@@ -244,7 +255,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         seed = args.seed if args.seed is not None else 2011
         refs = [f"suite:all?branches={branches}&seed={seed}"]
     traces = [trace for ref in refs for trace in runner.resolve(ref)]
-    with using_runner(runner):
+    with runner, using_runner(runner):
         table = experiment.run(traces)
     if args.json:
         _print_json({
@@ -290,21 +301,98 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     config = _runner_config(args)
     if not config.cache_dir:
         raise CLIError("cache: no cache directory (set --cache-dir or REPRO_SUITE_CACHE)")
-    cache = SuiteCache(config.cache_dir, cache_version=config.cache_version)
+    cache = SuiteCache(
+        config.cache_dir,
+        cache_version=config.cache_version,
+        max_bytes=config.cache_max_bytes,
+    )
     if args.action == "stats":
         stats = cache.stats()
         del stats["hits"], stats["misses"]  # meaningless for a fresh handle
         if args.json:
             _print_json(stats)
         else:
+            bound = (f" (bound {stats['max_bytes']} bytes)"
+                     if stats["max_bytes"] is not None else "")
             print(f"cache {stats['directory']}: {stats['entries']} entries, "
-                  f"{stats['bytes']} bytes")
+                  f"{stats['bytes']} bytes{bound}")
+    elif args.action == "prune":
+        if cache.max_bytes is None:
+            raise CLIError(
+                "cache prune: no size bound (set --cache-max-mb or REPRO_SUITE_CACHE_MAX_MB)"
+            )
+        summary = cache.prune()
+        if args.json:
+            _print_json({"directory": config.cache_dir, **summary})
+        else:
+            print(f"cache {config.cache_dir}: evicted {summary['removed']} entries "
+                  f"({summary['reclaimed_bytes']} bytes), "
+                  f"{summary['remaining_bytes']} bytes remain")
     else:
         removed = cache.clear()
         if args.json:
             _print_json({"directory": config.cache_dir, "removed": removed})
         else:
             print(f"cache {config.cache_dir}: removed {removed} entries")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import DiskResultStore, SimulationService, make_server
+
+    store = DiskResultStore(args.store_dir) if args.store_dir else None
+    runner = Runner(_runner_config(args), persistent=True)
+    service = SimulationService(runner=runner, store=store, queue_size=args.queue_size)
+    server = make_server(service, host=args.host, port=args.port, quiet=not args.verbose)
+    with service:
+        workers = runner.config.workers
+        print(f"repro service listening on {server.url} "
+              f"(workers={'auto' if workers is None else workers}, "
+              f"queue={args.queue_size})", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", flush=True)
+        finally:
+            server.server_close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceClientError
+    from repro.service.protocol import TERMINAL_STATUSES
+
+    requests = _build_requests(args, "submit")
+    client = ServiceClient(args.url)
+    try:
+        if args.no_wait:
+            document = client.submit(requests)
+        elif args.sync:
+            document = client.submit(requests, wait=True, timeout=args.timeout)
+        else:
+            document = client.run(requests, timeout=args.timeout)
+    except ServiceClientError as error:
+        raise CLIError(f"submit: {error}") from None
+
+    status = document["status"]
+    if args.no_wait or status not in TERMINAL_STATUSES:
+        # Not terminal (or not awaited): print the job document so the
+        # caller can poll GET /v1/runs/<id> themselves.
+        _print_json(document)
+        return 0 if args.no_wait else 3
+    if status == "failed":
+        print(f"repro: submit: job {document['id']} failed: {document['error']}",
+              file=sys.stderr)
+        return 1
+    payloads = document["results"]
+    if args.json:
+        # Same shape as `repro run --json`: one object for one request.
+        _print_result_payloads(payloads if document["batch"] else [payloads[0]])
+    else:
+        for payload in payloads:
+            print(f"{payload['trace']} [{payload['scenario']}]: {payload['predictor']}, "
+                  f"{payload['mispredictions']}/{payload['branches']} mispredictions, "
+                  f"MPKI {payload['mpki']:.2f}, MPPKI {payload['mppki']:.1f}")
     return 0
 
 
@@ -385,17 +473,69 @@ def _build_parser() -> argparse.ArgumentParser:
     lister.set_defaults(func=_cmd_list)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear the on-disk result cache",
+        "cache", help="inspect, prune or clear the on-disk result cache",
         description="stats/clear operate on the whole directory: cache keys are "
                     "hashes, so entries cannot be filtered by version label after "
                     "the fact (bump REPRO_SUITE_CACHE_VERSION to invalidate a "
-                    "shared cache without deleting it).",
+                    "shared cache without deleting it).  prune evicts "
+                    "least-recently-used entries until the directory fits the "
+                    "configured size bound.",
     )
-    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("action", choices=["stats", "clear", "prune"])
     cache.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="cache directory; default: REPRO_SUITE_CACHE")
+    cache.add_argument("--cache-max-mb", type=_parse_cache_max_mb, default=None, metavar="MB",
+                       help="size bound for prune; default: REPRO_SUITE_CACHE_MAX_MB")
     cache.add_argument("--json", action="store_true", help="machine-readable output")
     cache.set_defaults(func=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP simulation service",
+        description="Serve POST /v1/runs, GET /v1/runs/<id>, GET /v1/healthz and "
+                    "GET /v1/stats over a bounded job queue and a persistent "
+                    "warm worker pool.  Stop with Ctrl-C.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321, metavar="PORT",
+                       help="bind port (default 8321; 0 picks a free port)")
+    serve.add_argument("--queue-size", type=int, default=64, metavar="N",
+                       help="pending-job bound; a full queue answers 503 (default 64)")
+    serve.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="persist job documents as JSON files here "
+                            "(default: in-memory only)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    _add_runner_options(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a run to a repro service over HTTP",
+        description="Build the same request(s) as 'repro run' but execute them on "
+                    "a running service.  By default the job is submitted "
+                    "asynchronously and polled to completion; --json then prints "
+                    "exactly what 'repro run --json' would.",
+    )
+    submit.add_argument("kind", nargs="?",
+                        help="registered predictor kind (see 'repro list predictors')")
+    submit.add_argument("--url", default="http://127.0.0.1:8321", metavar="URL",
+                        help="service base URL (default http://127.0.0.1:8321)")
+    submit.add_argument("--config", metavar="JSON", help="predictor config as a JSON object")
+    submit.add_argument("--trace", action="append", metavar="REF",
+                        help="trace reference (repeatable)")
+    submit.add_argument("--scenario", default=None, metavar="I|A|B|C",
+                        help="update scenario (default I, immediate)")
+    submit.add_argument("--request", metavar="FILE",
+                        help="load a serialized RunRequest JSON instead of building one")
+    submit.add_argument("--sync", action="store_true",
+                        help="use POST /v1/runs?wait=1 instead of submit-then-poll")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="submit and print the job document without waiting")
+    submit.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                        help="seconds to wait for completion (default 120)")
+    submit.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_pipeline_options(submit)
+    submit.set_defaults(func=_cmd_submit)
 
     return parser
 
@@ -415,6 +555,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except CLIError as error:
         print(f"repro: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Pools and services shut down on the way out (context managers);
+        # 130 is the conventional SIGINT exit status.
+        print("repro: interrupted", file=sys.stderr)
+        return 130
     except (ValueError, KeyError, TypeError) as error:
         # TypeError covers predictor factories rejecting config keys, e.g.
         # --config '{"bogus": 1}' reaching TAGEConfig(**config).  Set

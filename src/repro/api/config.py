@@ -16,6 +16,10 @@ Environment variables (read by :meth:`RunnerConfig.from_env`):
 ``REPRO_SUITE_CACHE_VERSION``
     Operator-controlled label mixed into every cache key, so a shared
     cache directory can be invalidated wholesale without deleting it.
+``REPRO_SUITE_CACHE_MAX_MB``
+    Size bound (megabytes) for the on-disk cache; least-recently-used
+    entries are evicted on write to stay under it.  Unset/empty means
+    unbounded.
 """
 
 from __future__ import annotations
@@ -28,15 +32,29 @@ from repro.pipeline.parallel import SuiteCache
 
 __all__ = [
     "ENV_CACHE",
+    "ENV_CACHE_MAX_MB",
     "ENV_CACHE_VERSION",
     "ENV_WORKERS",
     "RunnerConfig",
+    "parse_cache_max_mb",
     "parse_workers",
 ]
 
 ENV_WORKERS = "REPRO_SUITE_WORKERS"
 ENV_CACHE = "REPRO_SUITE_CACHE"
 ENV_CACHE_VERSION = "REPRO_SUITE_CACHE_VERSION"
+ENV_CACHE_MAX_MB = "REPRO_SUITE_CACHE_MAX_MB"
+
+
+def parse_cache_max_mb(text: str, context: str = "cache size") -> float:
+    """Parse a cache size bound in megabytes (a positive number)."""
+    try:
+        megabytes = float(text.strip())
+    except ValueError:
+        raise ValueError(f"{context} must be a positive number of MB, got {text!r}") from None
+    if megabytes <= 0:
+        raise ValueError(f"{context} must be positive, got {megabytes}")
+    return megabytes
 
 
 def parse_workers(text: str, context: str = "workers") -> int | None:
@@ -75,11 +93,15 @@ class RunnerConfig:
     cache_version:
         Label mixed into every cache key (see
         :class:`~repro.pipeline.parallel.SuiteCache`).
+    cache_max_mb:
+        Size bound for the on-disk cache in megabytes (LRU eviction on
+        write); ``None`` means unbounded.
     """
 
     workers: int | None = 1
     cache_dir: str | None = None
     cache_version: str = ""
+    cache_max_mb: float | None = None
 
     def __post_init__(self) -> None:
         if self.workers is not None:
@@ -91,6 +113,15 @@ class RunnerConfig:
             object.__setattr__(self, "cache_dir", None)
         if not isinstance(self.cache_version, str):
             raise ValueError(f"cache_version must be a string, got {self.cache_version!r}")
+        if self.cache_max_mb is not None:
+            if not isinstance(self.cache_max_mb, (int, float)) or isinstance(
+                self.cache_max_mb, bool
+            ):
+                raise ValueError(
+                    f"cache_max_mb must be a positive number or None, got {self.cache_max_mb!r}"
+                )
+            if self.cache_max_mb <= 0:
+                raise ValueError(f"cache_max_mb must be positive, got {self.cache_max_mb}")
 
     @classmethod
     def from_env(cls, environ: Mapping[str, str] | None = None) -> "RunnerConfig":
@@ -103,14 +134,28 @@ class RunnerConfig:
         env = os.environ if environ is None else environ
         raw = (env.get(ENV_WORKERS) or "").strip()
         workers = parse_workers(raw, context=ENV_WORKERS) if raw else 1
+        raw_max = (env.get(ENV_CACHE_MAX_MB) or "").strip()
+        cache_max_mb = parse_cache_max_mb(raw_max, context=ENV_CACHE_MAX_MB) if raw_max else None
         return cls(
             workers=workers,
             cache_dir=(env.get(ENV_CACHE) or "").strip() or None,
             cache_version=(env.get(ENV_CACHE_VERSION) or "").strip(),
+            cache_max_mb=cache_max_mb,
         )
+
+    @property
+    def cache_max_bytes(self) -> int | None:
+        """The megabyte bound converted for :class:`SuiteCache`."""
+        if self.cache_max_mb is None:
+            return None
+        return int(self.cache_max_mb * 1024 * 1024)
 
     def make_cache(self) -> SuiteCache | None:
         """The configured :class:`SuiteCache`, or ``None`` when disabled."""
         if not self.cache_dir:
             return None
-        return SuiteCache(self.cache_dir, cache_version=self.cache_version)
+        return SuiteCache(
+            self.cache_dir,
+            cache_version=self.cache_version,
+            max_bytes=self.cache_max_bytes,
+        )

@@ -1,0 +1,37 @@
+"""JSON result payloads — the one rendering shared by CLI and service.
+
+``repro run --json``, ``repro submit --json`` and the HTTP service's job
+documents must all report a run identically, or the same request could
+"change numbers" depending on the transport it travelled over.  This
+module is that single rendering: :func:`suite_payload` turns one
+(:class:`~repro.api.request.RunRequest`,
+:class:`~repro.pipeline.metrics.SuiteResult`) pair into a JSON-pure dict.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.request import RunRequest
+from repro.pipeline.metrics import SuiteResult
+
+__all__ = ["suite_payload"]
+
+
+def suite_payload(request: RunRequest, result: SuiteResult) -> dict[str, Any]:
+    """The canonical JSON document for one executed request."""
+    branches = result.branches
+    return {
+        "predictor": result.predictor_name,
+        "spec": {"kind": request.predictor.kind, "config": request.predictor.config},
+        "trace": request.trace,
+        "scenario": request.scenario.value,
+        "traces": len(result.results),
+        "branches": branches,
+        "instructions": result.instructions,
+        "mispredictions": result.mispredictions,
+        "accuracy": (branches - result.mispredictions) / branches if branches else 0.0,
+        "mpki": result.mpki,
+        "mppki": result.mppki,
+        "per_trace": result.per_trace(),
+    }

@@ -18,6 +18,14 @@ Three altitudes, one engine:
 Experiment drivers that already hold live ``Trace`` lists use the
 lower-level :meth:`Runner.run_suite` / :meth:`Runner.run_suites`, which
 share the same scheduling and cache.
+
+Lifecycle: by default each batch builds (and tears down) its own process
+pool.  With ``persistent=True`` the runner owns one long-lived
+:class:`~repro.pipeline.parallel.WorkerPool` whose workers keep warm
+predictor instances across batches — the mode the HTTP service and any
+many-small-requests caller should use.  Either way ``Runner`` is a
+context manager; :meth:`Runner.close` (idempotent, also on ``with``
+exit and Ctrl-C) shuts the pool down without orphaning workers.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ from repro.api.config import RunnerConfig
 from repro.api.request import RunRequest, coerce_scenario
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.metrics import SuiteResult
-from repro.pipeline.parallel import SuiteCache, run_simulations
+from repro.pipeline.parallel import SuiteCache, WorkerPool, run_simulations
 from repro.pipeline.scenarios import UpdateScenario
 from repro.predictors.base import Predictor
 from repro.predictors.registry import PredictorSpec, spec_of
@@ -59,19 +67,56 @@ class Runner:
 
     Build one from the environment (``Runner.from_env()``) or with an
     explicit :class:`RunnerConfig`.  The runner is cheap to construct;
-    the process pool only exists while a batch is executing.
+    by default the process pool only exists while a batch is executing.
+    With ``persistent=True`` the runner instead keeps one warm
+    :class:`WorkerPool` alive across batches (created lazily, shut down
+    by :meth:`close` / ``with`` exit).
     """
 
     config: RunnerConfig = field(default_factory=RunnerConfig)
+    persistent: bool = False
 
     def __post_init__(self) -> None:
         self.cache: SuiteCache | None = self.config.make_cache()
         self._resolved: dict[str, list[Trace]] = {}
+        self._pool: WorkerPool | None = None
 
     @classmethod
-    def from_env(cls) -> "Runner":
+    def from_env(cls, persistent: bool = False) -> "Runner":
         """A runner configured from the ``REPRO_SUITE_*`` environment."""
-        return cls(RunnerConfig.from_env())
+        return cls(RunnerConfig.from_env(), persistent=persistent)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The live persistent pool, or ``None`` (ephemeral mode / not started)."""
+        return self._pool
+
+    def _acquire_pool(self) -> WorkerPool | None:
+        if not self.persistent:
+            return None
+        if self._pool is None or self._pool.closed:
+            self._pool = WorkerPool(max_workers=self.config.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool, if any (idempotent).
+
+        The runner stays usable afterwards — the next batch simply
+        builds a fresh pool (persistent mode) or runs ephemeral.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "Runner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Trace resolution
@@ -183,7 +228,12 @@ class Runner:
             shape.append((spec, len(traces)))
             flat.extend((spec, trace, scenario, config) for trace in traces)
 
-        results = run_simulations(flat, max_workers=self.config.workers, cache=self.cache)
+        results = run_simulations(
+            flat,
+            max_workers=self.config.workers,
+            cache=self.cache,
+            pool=self._acquire_pool(),
+        )
 
         suites: list[SuiteResult] = []
         cursor = 0

@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.pipeline.config import PipelineConfig
@@ -42,6 +42,7 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "ParallelSuiteRunner",
     "SuiteCache",
+    "WorkerPool",
     "run_simulations",
     "trace_fingerprint",
 ]
@@ -78,14 +79,29 @@ class SuiteCache:
     :attr:`~repro.api.config.RunnerConfig.cache_version`) that lets
     operators invalidate a shared cache directory wholesale without
     deleting it.
+
+    With ``max_bytes`` set the cache is size-bounded: every :meth:`put`
+    evicts least-recently-used entries (by mtime; :meth:`get` refreshes
+    the mtime of served entries) until the directory fits, which is what
+    makes a default-on shared cache safe.  :meth:`prune` runs the same
+    eviction on demand.
     """
 
-    def __init__(self, directory: str, cache_version: str = "") -> None:
+    def __init__(
+        self, directory: str, cache_version: str = "", max_bytes: int | None = None
+    ) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
         self.directory = directory
         self.cache_version = cache_version
+        self.max_bytes = max_bytes
         os.makedirs(directory, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Running size estimate so bounded puts stay O(1): synced to the
+        # real directory total by every prune() scan, bumped per write.
+        self._approx_bytes: int | None = None
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.pkl")
@@ -151,9 +167,54 @@ class SuiteCache:
             "directory": self.directory,
             "entries": entries,
             "bytes": total_bytes,
+            "max_bytes": self.max_bytes,
             "hits": self.hits,
             "misses": self.misses,
         }
+
+    def prune(self, max_bytes: int | None = None) -> dict:
+        """Evict least-recently-used entries until the cache fits ``max_bytes``.
+
+        ``max_bytes=None`` uses the cache's configured limit; with neither
+        set this is a no-op.  Recency is the entry file's mtime, which
+        :meth:`get` refreshes on every hit — so a hot entry survives
+        pruning however old its first write was.  Returns a summary dict
+        (``removed``, ``reclaimed_bytes``, ``remaining_bytes``).
+        """
+        limit = self.max_bytes if max_bytes is None else max_bytes
+        entries: list[tuple[float, int, str]] = []
+        total = 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            names = []
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            entries.append((info.st_mtime, info.st_size, path))
+            total += info.st_size
+        removed = 0
+        reclaimed = 0
+        if limit is not None and total > limit:
+            entries.sort()  # oldest mtime first
+            for mtime, size, path in entries:
+                if total <= limit:
+                    break
+                try:
+                    os.remove(path)
+                except OSError:
+                    continue
+                total -= size
+                reclaimed += size
+                removed += 1
+        self.evictions += removed
+        self._approx_bytes = total
+        return {"removed": removed, "reclaimed_bytes": reclaimed, "remaining_bytes": total}
 
     def clear(self) -> int:
         """Delete every cached result; returns the number of entries removed.
@@ -163,6 +224,7 @@ class SuiteCache:
         with :meth:`stats`'s ``entries``.
         """
         removed = 0
+        self._approx_bytes = None  # directory emptied; resync lazily
         try:
             names = os.listdir(self.directory)
         except OSError:
@@ -190,16 +252,35 @@ class SuiteCache:
         except (OSError, pickle.PickleError, EOFError):
             self.misses += 1
             return None
+        try:
+            os.utime(path)  # refresh recency so LRU pruning keeps hot entries
+        except OSError:
+            pass
         self.hits += 1
         return result
 
     def put(self, key: str, result: SimulationResult) -> None:
-        """Store one result (atomic rename so readers never see partials)."""
+        """Store one result (atomic rename so readers never see partials).
+
+        With a ``max_bytes`` limit configured, the write is followed by an
+        LRU eviction pass keeping the directory within bounds.
+        """
         path = self._path(key)
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "wb") as handle:
             pickle.dump(result, handle)
         os.replace(tmp, path)
+        if self.max_bytes is None:
+            return
+        if self._approx_bytes is None:
+            self.prune()  # first bounded write: one full scan seeds the estimate
+            return
+        try:
+            self._approx_bytes += os.path.getsize(path)
+        except OSError:
+            pass
+        if self._approx_bytes > self.max_bytes:
+            self.prune()
 
 
 #: Per-process predictor instances, keyed by spec, reused via ``reset()``
@@ -211,9 +292,14 @@ _WORKER_PREDICTORS: dict[PredictorSpec, Predictor] = {}
 _WORKER_PREDICTOR_LIMIT = 4
 
 
-def _predictor_for(spec: PredictorSpec) -> Predictor:
-    """Build or reset-and-reuse this process's predictor for ``spec``."""
+def _predictor_for(spec: PredictorSpec) -> tuple[Predictor, bool]:
+    """Build or reset-and-reuse this process's predictor for ``spec``.
+
+    Returns the predictor and whether it was served warm (reset-reuse of
+    a cached instance rather than a fresh construction).
+    """
     predictor = _WORKER_PREDICTORS.pop(spec, None)
+    warm = predictor is not None
     if predictor is None:
         predictor = spec.build()
     else:
@@ -221,23 +307,128 @@ def _predictor_for(spec: PredictorSpec) -> Predictor:
             predictor.reset()
         except NotImplementedError:
             predictor = spec.build()
+            warm = False
     while len(_WORKER_PREDICTORS) >= _WORKER_PREDICTOR_LIMIT:
         _WORKER_PREDICTORS.pop(next(iter(_WORKER_PREDICTORS)))
     _WORKER_PREDICTORS[spec] = predictor
-    return predictor
+    return predictor, warm
 
 
 def _simulate_one(task: tuple) -> SimulationResult:
     """Pool worker: simulate one (spec, trace, scenario, config) run."""
     spec, trace, scenario, config = task
-    predictor = _predictor_for(spec)
+    predictor, _ = _predictor_for(spec)
     return SimulationEngine(predictor, scenario, config).run(trace)
+
+
+def _simulate_one_warm(task: tuple) -> tuple[SimulationResult, bool]:
+    """Pool worker for :class:`WorkerPool`: result plus whether the
+    worker's predictor cache served this task warm (reset-reuse)."""
+    spec, trace, scenario, config = task
+    predictor, warm = _predictor_for(spec)
+    return SimulationEngine(predictor, scenario, config).run(trace), warm
+
+
+class WorkerPool:
+    """A long-lived process pool with warm per-worker predictor caches.
+
+    Where :func:`run_simulations` normally builds (and tears down) a
+    :class:`ProcessPoolExecutor` per call, a ``WorkerPool`` keeps its
+    worker processes alive across calls: each worker's module-level
+    ``{spec: predictor}`` cache then persists, so repeated small batches
+    pay neither process spawn nor predictor construction — the warm path
+    a long-running service needs.
+
+    The pool is lazy (processes start on the first :meth:`map`),
+    reusable across batches, and a context manager.  ``warm_hits`` /
+    ``tasks_executed`` count how often workers served a task by
+    resetting a cached predictor instead of building one.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be at least 1, got {max_workers}")
+        self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+        self.batches = 0
+        self.tasks_executed = 0
+        self.warm_hits = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes currently exist."""
+        return self._executor is not None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def map(self, tasks: list[tuple]) -> list[SimulationResult]:
+        """Execute tasks on the persistent workers, in task order.
+
+        An ordinary task exception (e.g. a predictor factory rejecting
+        its config) propagates with the pool — and every worker's warm
+        predictor cache — left intact: one bad task must not cost the
+        warm state of all the good ones.  Only a dead executor
+        (:class:`BrokenExecutor`) or an interrupt (Ctrl-C /
+        ``SystemExit``) closes the pool, cancelling pending tasks and
+        joining workers so none are orphaned.
+        """
+        executor = self._ensure()
+        try:
+            outcomes = list(executor.map(_simulate_one_warm, tasks))
+        except (BrokenExecutor, KeyboardInterrupt, SystemExit):
+            self.close(cancel=True)
+            raise
+        self.batches += 1
+        self.tasks_executed += len(outcomes)
+        self.warm_hits += sum(1 for _, warm in outcomes if warm)
+        return [result for result, _ in outcomes]
+
+    def stats(self) -> dict:
+        """Worker count, lifecycle state and warm-reuse counters."""
+        tasks = self.tasks_executed
+        return {
+            "workers": self.max_workers,
+            "started": self.started,
+            "closed": self._closed,
+            "batches": self.batches,
+            "tasks_executed": tasks,
+            "warm_hits": self.warm_hits,
+            "warm_hit_rate": self.warm_hits / tasks if tasks else 0.0,
+        }
+
+    def close(self, cancel: bool = False) -> None:
+        """Shut the workers down (idempotent).
+
+        ``cancel=True`` drops queued tasks; running tasks always finish
+        so worker processes join cleanly.
+        """
+        executor, self._executor = self._executor, None
+        self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=cancel)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(cancel=exc_info[0] is not None)
 
 
 def run_simulations(
     tasks: list[tuple[PredictorSpec, Trace, UpdateScenario, PipelineConfig]],
     max_workers: int | None = None,
     cache: SuiteCache | None = None,
+    pool: WorkerPool | None = None,
 ) -> list[SimulationResult]:
     """Execute (spec, trace, scenario, config) runs through one process pool.
 
@@ -253,6 +444,11 @@ def run_simulations(
     results already on disk are served without simulating; fresh results
     are written back.  ``max_workers=None`` means ``os.cpu_count()``;
     with one worker (or one pending task) everything runs in-process.
+
+    With ``pool`` set, every uncached task runs on that persistent
+    :class:`WorkerPool` instead (``max_workers`` is then ignored): the
+    warm path used by a :class:`~repro.api.runner.Runner` in persistent
+    mode and by the HTTP service.
     """
     if not tasks:
         return []
@@ -272,15 +468,22 @@ def run_simulations(
 
     if groups:
         unique = [tasks[positions[0]] for positions in groups.values()]
-        limit = max_workers if max_workers is not None else (os.cpu_count() or 1)
-        workers = max(1, min(limit, len(unique)))
-        if workers == 1:
-            fresh = [_simulate_one(task) for task in unique]
+        if pool is not None:
+            fresh = pool.map(unique)
         else:
-            executor = ProcessPoolExecutor(max_workers=workers)
-            try:
-                fresh = list(executor.map(_simulate_one, unique))
-            finally:
+            limit = max_workers if max_workers is not None else (os.cpu_count() or 1)
+            workers = max(1, min(limit, len(unique)))
+            if workers == 1:
+                fresh = [_simulate_one(task) for task in unique]
+            else:
+                executor = ProcessPoolExecutor(max_workers=workers)
+                try:
+                    fresh = list(executor.map(_simulate_one, unique))
+                except BaseException:
+                    # Ctrl-C (or a worker crash) must not orphan workers:
+                    # drop queued tasks, let running ones finish, join.
+                    executor.shutdown(wait=True, cancel_futures=True)
+                    raise
                 executor.shutdown()
         for positions, result in zip(groups.values(), fresh):
             for position in positions:

@@ -1,0 +1,59 @@
+"""``repro.service`` — the HTTP simulation service.
+
+A stdlib-only front end that turns the serializable run API into a
+long-running server: clients ``POST`` :class:`~repro.api.request.RunRequest`
+JSON, jobs flow through a bounded in-process queue, and a dispatcher
+executes them on a :class:`~repro.api.runner.Runner` in persistent mode —
+one long-lived :class:`~repro.pipeline.parallel.WorkerPool` whose workers
+keep warm predictor instances, so many small requests never pay process
+spawn or predictor construction.
+
+Layers (each usable on its own):
+
+* :mod:`repro.service.protocol` — the job model and submission parsing,
+* :mod:`repro.service.store` — pluggable result stores (memory / disk),
+* :mod:`repro.service.core` — :class:`SimulationService`: queue,
+  dispatcher thread, stats,
+* :mod:`repro.service.app` — the ``http.server`` application
+  (``POST /v1/runs``, ``GET /v1/runs/<id>``, ``GET /v1/healthz``,
+  ``GET /v1/stats``),
+* :mod:`repro.service.client` — a urllib client (used by
+  ``repro submit`` and the tests).
+
+Start one with ``repro serve`` or::
+
+    from repro.service import SimulationService, serve
+
+    with SimulationService() as service:
+        serve(service, host="127.0.0.1", port=8321)
+"""
+
+from repro.service.app import ServiceHTTPServer, make_server, serve
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.core import (
+    QueueFullError,
+    ServiceClosedError,
+    SimulationService,
+    UnknownJobError,
+)
+from repro.service.protocol import Job, JobStatus, ProtocolError, parse_submission
+from repro.service.store import DiskResultStore, MemoryResultStore, ResultStore
+
+__all__ = [
+    "DiskResultStore",
+    "Job",
+    "JobStatus",
+    "MemoryResultStore",
+    "ProtocolError",
+    "QueueFullError",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceClosedError",
+    "ServiceHTTPServer",
+    "SimulationService",
+    "UnknownJobError",
+    "make_server",
+    "parse_submission",
+    "serve",
+]

@@ -1,0 +1,217 @@
+"""The stdlib HTTP application over :class:`SimulationService`.
+
+``http.server`` only — no framework, no new dependencies.  The server is
+a :class:`ThreadingHTTPServer`, so slow clients and long ``?wait=1``
+polls never block each other; all shared state lives behind the
+service's own locks.
+
+Endpoints (all JSON):
+
+===========================  ==================================================
+``POST /v1/runs``            submit one request object or a list; ``202`` with
+                             the job document (``Location: /v1/runs/<id>``).
+``POST /v1/runs?wait=1``     same, but block until terminal (``timeout=S``
+                             query, default 60): ``200`` when finished,
+                             ``202`` with the still-running document on
+                             timeout.
+``GET /v1/runs/<id>``        the job document; ``404`` for unknown ids.
+``GET /v1/healthz``          liveness: ``{"status": "ok"}`` plus uptime.
+``GET /v1/stats``            queue depth, job counters, dispatcher
+                             utilization, warm-pool and cache hit rates.
+===========================  ==================================================
+
+Error mapping: malformed body/submission → 400, unknown job → 404,
+queue full → 503 with ``Retry-After``, closed service → 503.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+import repro
+from repro.service.core import (
+    QueueFullError,
+    ServiceClosedError,
+    SimulationService,
+    UnknownJobError,
+)
+from repro.service.protocol import TERMINAL_STATUSES, ProtocolError
+
+__all__ = ["ServiceHTTPServer", "make_server", "serve"]
+
+#: Default/ceiling for the synchronous ``?wait=1`` hold, seconds.
+DEFAULT_WAIT_TIMEOUT = 60.0
+MAX_WAIT_TIMEOUT = 600.0
+#: Submission bodies above this are rejected unread (413).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`SimulationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: SimulationService,
+                 quiet: bool = True) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+    server_version = f"repro-service/{repro.__version__}"
+    # HTTP/1.1 keep-alive: every response below carries Content-Length.
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _reply(self, code: int, payload: dict, headers: dict[str, str] | None = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Set when the request body was not consumed (oversize/absent):
+            # advertise the close instead of silently dropping keep-alive.
+            self.send_header("Connection", "close")
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str, headers: dict[str, str] | None = None) -> None:
+        self._reply(code, {"error": message}, headers)
+
+    def _query(self) -> dict[str, str]:
+        query = parse_qs(urlsplit(self.path).query)
+        return {key: values[-1] for key, values in query.items()}
+
+    def _path(self) -> str:
+        return urlsplit(self.path).path.rstrip("/") or "/"
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self._path()
+        service = self.server.service
+        if path == "/v1/healthz":
+            # Liveness only — no filesystem scans (stats() walks the cache
+            # and store directories, far too heavy for a frequent probe).
+            self._reply(200, {
+                "status": "ok",
+                "version": repro.__version__,
+                **service.health(),
+            })
+        elif path == "/v1/stats":
+            self._reply(200, service.stats())
+        elif path.startswith("/v1/runs/"):
+            job_id = path[len("/v1/runs/"):]
+            if "/" in job_id or not job_id:
+                self._error(404, f"no such resource {path!r}")
+                return
+            try:
+                self._reply(200, service.job(job_id))
+            except UnknownJobError:
+                self._error(404, f"unknown job {job_id!r}")
+        else:
+            self._error(404, f"no such resource {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self._path()
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if path != "/v1/runs" or not (0 < length <= MAX_BODY_BYTES):
+            # Replying without consuming the body would leave it in the
+            # socket for the next keep-alive request to parse as garbage.
+            self.close_connection = True
+        if path != "/v1/runs":
+            self._error(404, f"no such resource {path!r}")
+            return
+        if length < 0:
+            self._error(400, "invalid Content-Length")
+            return
+        if length == 0:
+            self._error(400, "request body required")
+            return
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._error(400, f"invalid JSON body: {error}")
+            return
+
+        service = self.server.service
+        try:
+            job = service.submit_payload(payload)
+        except ProtocolError as error:
+            self._error(400, str(error))
+            return
+        except QueueFullError as error:
+            self._error(503, str(error), headers={"Retry-After": "1"})
+            return
+        except ServiceClosedError as error:
+            self._error(503, str(error))
+            return
+
+        query = self._query()
+        location = {"Location": f"/v1/runs/{job.id}"}
+        if query.get("wait", "").lower() in _TRUTHY:
+            try:
+                timeout = float(query.get("timeout", DEFAULT_WAIT_TIMEOUT))
+            except ValueError:
+                timeout = DEFAULT_WAIT_TIMEOUT
+            timeout = max(0.0, min(timeout, MAX_WAIT_TIMEOUT))
+            document = service.wait(job.id, timeout=timeout)
+            finished = document["status"] in TERMINAL_STATUSES
+            self._reply(200 if finished else 202, document, location)
+        else:
+            self._reply(202, job.to_dict(), location)
+
+
+def make_server(
+    service: SimulationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind (but do not run) the HTTP server; ``port=0`` picks a free port."""
+    return ServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve(
+    service: SimulationService,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    quiet: bool = True,
+) -> None:
+    """Run the service until interrupted, then shut down cleanly."""
+    server = make_server(service, host, port, quiet=quiet)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

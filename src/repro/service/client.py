@@ -1,0 +1,132 @@
+"""A small urllib client for the HTTP service.
+
+Used by ``repro submit``, the tests and the throughput benchmark — and a
+reasonable starting point for any external caller.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Sequence
+
+from repro.api.request import RunRequest
+from repro.service.protocol import TERMINAL_STATUSES
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(RuntimeError):
+    """An HTTP-level failure, carrying the status code and server message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Typed calls against one service base URL (e.g. ``http://127.0.0.1:8321``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _call(self, method: str, path: str, payload: Any = None,
+              timeout: float | None = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServiceClientError(error.code, detail) from None
+        except urllib.error.URLError as error:
+            raise ServiceClientError(0, f"cannot reach {self.base_url}: {error.reason}") from None
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._call("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._call("GET", "/v1/stats")
+
+    def job(self, job_id: str) -> dict:
+        return self._call("GET", f"/v1/runs/{job_id}")
+
+    def submit(
+        self,
+        requests: Sequence[RunRequest] | RunRequest | Sequence[dict] | dict,
+        wait: bool = False,
+        timeout: float | None = None,
+    ) -> dict:
+        """POST a submission; returns the job document.
+
+        ``requests`` may be live :class:`RunRequest` objects or
+        already-serialized payload dicts; a single request posts an
+        object, several post a list (the server preserves the shape in
+        the document's ``batch`` flag).
+        """
+        payload = self._submission_payload(requests)
+        if not wait:
+            return self._call("POST", "/v1/runs", payload)
+        hold = timeout if timeout is not None else 60
+        # The transport timeout must outlive the server-side hold we just
+        # asked for, or long jobs would abort client-side mid-wait.
+        return self._call(
+            "POST", f"/v1/runs?wait=1&timeout={hold}", payload,
+            timeout=max(self.timeout, hold + 10),
+        )
+
+    def poll(self, job_id: str, timeout: float = 60.0, interval: float = 0.05) -> dict:
+        """GET the job until it reaches a terminal state (or ``timeout``)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.job(job_id)
+            if document["status"] in TERMINAL_STATUSES or time.monotonic() >= deadline:
+                return document
+            time.sleep(interval)
+
+    def run(
+        self,
+        requests: Sequence[RunRequest] | RunRequest | Sequence[dict] | dict,
+        timeout: float = 60.0,
+    ) -> dict:
+        """Submit asynchronously, then poll to completion (both endpoints)."""
+        document = self.submit(requests)
+        if document["status"] not in TERMINAL_STATUSES:
+            document = self.poll(document["id"], timeout=timeout)
+        return document
+
+    @staticmethod
+    def _submission_payload(
+        requests: Sequence[RunRequest] | RunRequest | Sequence[dict] | dict,
+    ) -> Any:
+        def encode(entry: RunRequest | dict) -> dict:
+            return entry.to_dict() if isinstance(entry, RunRequest) else entry
+
+        if isinstance(requests, (RunRequest, dict)):
+            return encode(requests)
+        entries = [encode(entry) for entry in requests]
+        return entries[0] if len(entries) == 1 else entries

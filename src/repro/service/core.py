@@ -1,0 +1,305 @@
+"""The service core: a bounded job queue draining into a warm runner.
+
+:class:`SimulationService` is transport-agnostic — the HTTP app, the
+tests and the benchmarks all drive this same object:
+
+* :meth:`~SimulationService.submit` validates and enqueues a job
+  (raising :class:`QueueFullError` when the bounded queue is at
+  capacity — callers map that to HTTP 503),
+* one dispatcher thread pops jobs in FIFO order and executes each as a
+  single :meth:`~repro.api.runner.Runner.run_batch` call on a runner in
+  persistent mode, so every job after the first hits warm worker
+  processes with cached predictor instances,
+* terminal job documents move into the pluggable result store;
+  :meth:`~SimulationService.job` serves live and stored jobs through one
+  lookup,
+* :meth:`~SimulationService.stats` reports queue depth, job counters,
+  dispatcher utilization, warm-pool and result-cache hit rates — the
+  numbers an operator needs to size the pool.
+
+Jobs within one submission share the scheduler's dedup; jobs are
+*serialized* with respect to each other (the parallelism lives in the
+worker pool, not in concurrent batches), which keeps results
+deterministic however many clients submit concurrently.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Sequence
+
+from repro.api.request import RunRequest
+from repro.api.results import suite_payload
+from repro.api.runner import Runner
+from repro.service.protocol import Job, JobStatus, parse_submission
+from repro.service.store import MemoryResultStore, ResultStore
+
+__all__ = [
+    "DEFAULT_QUEUE_SIZE",
+    "QueueFullError",
+    "ServiceClosedError",
+    "SimulationService",
+    "UnknownJobError",
+]
+
+DEFAULT_QUEUE_SIZE = 64
+#: Bound of the default in-memory result store.
+DEFAULT_STORE_ENTRIES = 4096
+
+#: How often the idle dispatcher re-checks the stop signal, seconds.
+_DRAIN_POLL_SECONDS = 0.1
+
+
+class QueueFullError(RuntimeError):
+    """The bounded job queue is at capacity (maps to HTTP 503)."""
+
+
+class UnknownJobError(KeyError):
+    """No live or stored job has the requested id (maps to HTTP 404)."""
+
+
+class ServiceClosedError(RuntimeError):
+    """The service no longer accepts submissions."""
+
+
+class SimulationService:
+    """Queue + dispatcher + warm runner + result store, as one object.
+
+    Parameters
+    ----------
+    runner:
+        The executing :class:`Runner`; defaults to an env-configured
+        runner in persistent mode.  The service owns the runner it is
+        given and closes it on :meth:`close`.
+    store:
+        Terminal job documents; defaults to a :class:`MemoryResultStore`
+        bounded to :data:`DEFAULT_STORE_ENTRIES` documents (oldest
+        dropped), so a long-running default service cannot grow without
+        bound.  Pass an unbounded or disk-backed store explicitly to
+        keep more.
+    queue_size:
+        Bound of the pending-job queue (back-pressure, not buffering:
+        a full queue rejects rather than grows).
+    """
+
+    def __init__(
+        self,
+        runner: Runner | None = None,
+        store: ResultStore | None = None,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+    ) -> None:
+        if queue_size < 1:
+            raise ValueError(f"queue_size must be at least 1, got {queue_size}")
+        self.runner = runner if runner is not None else Runner.from_env(persistent=True)
+        self.store = (
+            store if store is not None else MemoryResultStore(max_entries=DEFAULT_STORE_ENTRIES)
+        )
+        self.queue_size = queue_size
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_size)
+        self._live: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._dispatcher: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._closed = False
+        self._started_at = time.time()
+        self._busy_seconds = 0.0
+        self._busy_since: float | None = None
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "SimulationService":
+        """Start the dispatcher thread (idempotent)."""
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        if self._dispatcher is None:
+            self._dispatcher = threading.Thread(
+                target=self._drain, name="repro-service-dispatcher", daemon=True
+            )
+            self._dispatcher.start()
+        return self
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Stop accepting jobs, drain the dispatcher, close the runner.
+
+        Already-queued jobs still execute; new submissions are rejected.
+        ``close`` itself never blocks on the queue — it signals a stop
+        event and waits up to ``timeout`` for the drain.  If the
+        dispatcher outlives the timeout (a long job mid-flight), it
+        closes the runner itself on exit, so worker processes are never
+        leaked either way.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stop.set()
+        dispatcher = self._dispatcher
+        if dispatcher is not None:
+            dispatcher.join(timeout=timeout)
+        if dispatcher is None or not dispatcher.is_alive():
+            self.runner.close()
+
+    def __enter__(self) -> "SimulationService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Submission and lookup
+    # ------------------------------------------------------------------
+
+    def submit(self, requests: Sequence[RunRequest], batch: bool = True) -> Job:
+        """Enqueue already-validated requests as one job."""
+        job = Job(requests=list(requests), batch=batch)
+        if not job.requests:
+            raise ValueError("a job needs at least one request")
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                raise QueueFullError(
+                    f"job queue is full ({self.queue_size} pending jobs); retry later"
+                ) from None
+            self._live[job.id] = job
+            self.submitted += 1
+        return job
+
+    def submit_payload(self, payload: Any) -> Job:
+        """Parse a wire submission (object or list) and enqueue it."""
+        requests, batch = parse_submission(payload)
+        return self.submit(requests, batch=batch)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """The job document, live or stored; raises :class:`UnknownJobError`."""
+        with self._lock:
+            live = self._live.get(job_id)
+            if live is not None:
+                return live.to_dict()
+        document = self.store.get(job_id)
+        if document is None:
+            raise UnknownJobError(job_id)
+        return document
+
+    def wait(self, job_id: str, timeout: float | None = None) -> dict[str, Any]:
+        """Block until the job reaches a terminal state (or ``timeout``).
+
+        Returns the job document either way; check its ``status`` to
+        distinguish completion from timeout.
+        """
+        with self._lock:
+            live = self._live.get(job_id)
+        if live is not None:
+            live.done_event.wait(timeout)
+        return self.job(job_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Cheap liveness fields (no filesystem access; see ``/v1/healthz``)."""
+        return {
+            "uptime_seconds": time.time() - self._started_at,
+            "dispatcher_running": self._dispatcher is not None and self._dispatcher.is_alive(),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Operator metrics: queue, jobs, dispatcher, pool, caches."""
+        now = time.time()
+        with self._lock:
+            live = list(self._live.values())
+            submitted, completed, failed = self.submitted, self.completed, self.failed
+            busy = self._busy_seconds
+            busy_since = self._busy_since
+        if busy_since is not None:
+            busy += now - busy_since
+        uptime = max(now - self._started_at, 1e-9)
+        pool = self.runner.pool
+        cache = self.runner.cache
+        cache_stats = None
+        if cache is not None:
+            cache_stats = cache.stats()
+            lookups = cache_stats["hits"] + cache_stats["misses"]
+            cache_stats["hit_rate"] = cache_stats["hits"] / lookups if lookups else 0.0
+        return {
+            "uptime_seconds": now - self._started_at,
+            "queue": {
+                "depth": sum(1 for job in live if job.status is JobStatus.QUEUED),
+                "capacity": self.queue_size,
+            },
+            "jobs": {
+                "submitted": submitted,
+                "completed": completed,
+                "failed": failed,
+                "running": sum(1 for job in live if job.status is JobStatus.RUNNING),
+            },
+            "dispatcher": {
+                "running": self._dispatcher is not None and self._dispatcher.is_alive(),
+                "busy": busy_since is not None,
+                "utilization": min(busy / uptime, 1.0),
+            },
+            "pool": pool.stats() if pool is not None else None,
+            "result_cache": cache_stats,
+            "store": self.store.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> None:
+        try:
+            while True:
+                try:
+                    job = self._queue.get(timeout=_DRAIN_POLL_SECONDS)
+                except queue.Empty:
+                    if self._stop.is_set():
+                        return
+                    continue
+                self._execute(job)
+        finally:
+            if self._stop.is_set():
+                # close() may already have returned (join timeout expired
+                # mid-job): last one out shuts the pool.  Runner.close is
+                # idempotent, so racing close() here is harmless.
+                self.runner.close()
+
+    def _execute(self, job: Job) -> None:
+        job.status = JobStatus.RUNNING
+        job.started = time.time()
+        with self._lock:
+            self._busy_since = job.started
+        try:
+            results = self.runner.run_batch(job.requests)
+            job.results = [
+                suite_payload(request, result)
+                for request, result in zip(job.requests, results)
+            ]
+            job.status = JobStatus.DONE
+        except Exception as error:  # noqa: BLE001 - job faults must not kill the service
+            message = str(error.args[0]) if error.args else str(error)
+            job.error = f"{type(error).__name__}: {message}"
+            job.status = JobStatus.FAILED
+        job.finished = time.time()
+        with self._lock:
+            self._busy_seconds += job.finished - (self._busy_since or job.finished)
+            self._busy_since = None
+            if job.status is JobStatus.DONE:
+                self.completed += 1
+            else:
+                self.failed += 1
+        # Store before unlisting so job() never sees a gap between the two.
+        self.store.put(job.id, job.to_dict())
+        with self._lock:
+            self._live.pop(job.id, None)
+        job.done_event.set()

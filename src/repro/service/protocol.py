@@ -1,0 +1,152 @@
+"""The service job model and wire protocol.
+
+A *job* is one submission: a single :class:`~repro.api.request.RunRequest`
+or a batch of them, travelling together through the queue and executed as
+one :meth:`~repro.api.runner.Runner.run_batch` call (so identical runs
+inside a batch are deduplicated by the scheduler).  The job document —
+:meth:`Job.to_dict` — is the single JSON shape served by
+``GET /v1/runs/<id>``, returned by ``POST /v1/runs?wait=1`` and persisted
+in the result store, so a client never sees different layouts for live
+and stored jobs.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.api.request import RunRequest
+from repro.predictors.registry import available
+
+__all__ = [
+    "Job",
+    "JobStatus",
+    "MAX_BATCH_REQUESTS",
+    "ProtocolError",
+    "TERMINAL_STATUSES",
+    "parse_submission",
+]
+
+#: Upper bound on requests per submission: a misbehaving client posting a
+#: million-entry batch should get a 400, not wedge the queue for hours.
+MAX_BATCH_REQUESTS = 256
+
+_COUNTER = itertools.count(1)
+
+
+class ProtocolError(ValueError):
+    """A malformed submission (maps to HTTP 400)."""
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a job: queued → running → done | failed."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobStatus.DONE, JobStatus.FAILED)
+
+
+#: Wire-level terminal status strings — the single source the HTTP wait
+#: path, the client's poll loop and the submit CLI all check against.
+TERMINAL_STATUSES = frozenset(status.value for status in JobStatus if status.terminal)
+
+
+def new_job_id() -> str:
+    """A unique, filesystem- and URL-safe job id (``job-<seq>-<hex>``)."""
+    return f"job-{next(_COUNTER)}-{uuid.uuid4().hex[:8]}"
+
+
+@dataclass
+class Job:
+    """One submission moving through the service.
+
+    ``batch`` records whether the client posted a list — it decides
+    whether clients unwrapping the document should read ``results`` as a
+    list or take its only element, mirroring how ``repro run`` prints
+    one payload for one request and a list for several.
+    """
+
+    requests: list[RunRequest]
+    batch: bool
+    id: str = field(default_factory=new_job_id)
+    status: JobStatus = JobStatus.QUEUED
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    error: str | None = None
+    results: list[dict] | None = None
+    done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The job document (JSON-pure, identical live and from a store)."""
+        return {
+            "id": self.id,
+            "status": self.status.value,
+            "batch": self.batch,
+            "requests": [request.to_dict() for request in self.requests],
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            "results": self.results,
+        }
+
+
+def parse_submission(payload: Any) -> tuple[list[RunRequest], bool]:
+    """Parse a ``POST /v1/runs`` body into requests.
+
+    Accepts one request object or a non-empty list of at most
+    :data:`MAX_BATCH_REQUESTS`; anything else (including invalid
+    individual requests — unknown keys, bad scenarios, unparsable trace
+    references, unregistered predictor kinds) raises
+    :class:`ProtocolError` naming the offending entry.  Kind validation
+    happens here, at submission time, so a typo is a 400 at the door
+    rather than a failed job minutes later.  (Config *values* are only
+    checked by the factory at execution; a bad config still fails the
+    job, not the service.)
+    """
+    if isinstance(payload, Sequence) and not isinstance(payload, (str, bytes)):
+        entries = list(payload)
+        if not entries:
+            raise ProtocolError("batch submission must contain at least one request")
+        if len(entries) > MAX_BATCH_REQUESTS:
+            raise ProtocolError(
+                f"batch of {len(entries)} requests exceeds the limit of {MAX_BATCH_REQUESTS}"
+            )
+        batch = True
+    elif isinstance(payload, Mapping):
+        entries = [payload]
+        batch = False
+    else:
+        raise ProtocolError(
+            f"submission must be a run request object or a list of them, "
+            f"got {type(payload).__name__}"
+        )
+    requests = []
+    kinds = None
+    for index, entry in enumerate(entries):
+        where = f"request {index}" if batch else "request"
+        try:
+            request = RunRequest.from_dict(entry)
+        except (ValueError, KeyError, TypeError) as error:
+            message = error.args[0] if error.args else error
+            raise ProtocolError(f"{where}: {message}") from None
+        if kinds is None:
+            kinds = set(available())
+        if request.predictor.kind not in kinds:
+            raise ProtocolError(
+                f"{where}: unknown predictor kind {request.predictor.kind!r}; "
+                f"registered kinds: {available()}"
+            )
+        requests.append(request)
+    return requests, batch
