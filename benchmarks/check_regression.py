@@ -1,0 +1,92 @@
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+CI machines differ in speed from whatever produced the baseline, so a
+naive per-benchmark time comparison would flag an entire slow runner as
+a regression.  Instead the check is *machine-normalized*: it computes
+each common benchmark's current/baseline mean-time ratio, takes the
+median ratio as the machine-speed factor, and fails only benchmarks
+whose ratio exceeds ``--max-ratio`` (default 2.0) times that median —
+i.e. benchmarks that got at least 2x slower *relative to the rest of
+the suite*.
+
+Usage::
+
+    python benchmarks/check_regression.py benchmarks/BENCH_baseline.json BENCH_current.json
+
+Exit status 1 on regression, 0 otherwise (including when the files share
+no benchmarks — a renamed suite is not a perf regression).  Regenerate
+the baseline with::
+
+    PYTHONPATH=src REPRO_BENCH_BRANCHES=500 python -m pytest benchmarks/bench_*.py \
+        -q --benchmark-json=benchmarks/BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+
+
+def load_means(path: str) -> dict[str, float]:
+    """``{fullname: mean seconds}`` from a pytest-benchmark JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    means = {}
+    for bench in payload.get("benchmarks", []):
+        mean = bench.get("stats", {}).get("mean")
+        if mean:
+            means[bench["fullname"]] = mean
+    return means
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument("current", help="this run's BENCH_*.json")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when a benchmark slows more than this factor "
+                             "beyond the machine-speed median (default 2.0)")
+    args = parser.parse_args(argv)
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+    common = sorted(set(baseline) & set(current))
+    new = sorted(set(current) - set(baseline))
+    gone = sorted(set(baseline) - set(current))
+    if new:
+        print(f"note: {len(new)} benchmark(s) not in the baseline (regenerate it): "
+              + ", ".join(new[:5]) + ("…" if len(new) > 5 else ""))
+    if gone:
+        print(f"note: {len(gone)} baseline benchmark(s) missing from this run: "
+              + ", ".join(gone[:5]) + ("…" if len(gone) > 5 else ""))
+    if not common:
+        print("no common benchmarks between baseline and current run; nothing to compare")
+        return 0
+
+    ratios = {name: current[name] / baseline[name] for name in common}
+    machine = statistics.median(ratios.values())
+    limit = args.max_ratio * machine
+    print(f"{len(common)} benchmarks, machine-speed factor {machine:.2f}x, "
+          f"per-benchmark limit {limit:.2f}x")
+
+    offenders = []
+    for name in common:
+        ratio = ratios[name]
+        marker = "REGRESSION" if ratio > limit else "ok"
+        if ratio > limit or ratio == max(ratios.values()):
+            print(f"  {marker:>10}  {ratio:6.2f}x  {name}  "
+                  f"({baseline[name] * 1000:.1f} ms -> {current[name] * 1000:.1f} ms)")
+        if ratio > limit:
+            offenders.append(name)
+
+    if offenders:
+        print(f"FAIL: {len(offenders)} benchmark(s) regressed more than "
+              f"{args.max_ratio}x beyond the machine-speed median")
+        return 1
+    print("perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,15 +29,18 @@ The three-line version::
 """
 
 from repro.api.config import RunnerConfig
-from repro.api.request import RunRequest
+from repro.api.request import RunRequest, validate_shard_coverage
 from repro.api.results import suite_payload
 from repro.api.runner import Runner, active_runner, using_runner
+from repro.traces.sharding import ShardingPolicy
 
 __all__ = [
     "RunRequest",
     "Runner",
     "RunnerConfig",
+    "ShardingPolicy",
     "active_runner",
     "suite_payload",
     "using_runner",
+    "validate_shard_coverage",
 ]

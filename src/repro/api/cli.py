@@ -6,6 +6,7 @@ use (:class:`~repro.api.request.RunRequest`,
 references and the named experiments)::
 
     repro run tage-lsc --trace hard:MM05 --scenario A --workers 4 --json
+    repro run tage --trace "suite:INT01?branches=400000" --shards 4 --workers 4
     repro run --request saved-request.json
     repro suite --predictor tage --predictor tage-lsc --trace suite:INT --scenario A
     repro experiment fig10 --branches 3000
@@ -39,6 +40,7 @@ from repro.pipeline.config import PipelineConfig
 from repro.pipeline.parallel import SuiteCache
 from repro.predictors.registry import PredictorSpec, describe
 from repro.traces.refs import parse_trace_ref, trace_ref_catalogue
+from repro.traces.sharding import DEFAULT_WARMUP, SHARD_MODES, ShardingPolicy
 
 __all__ = ["main"]
 
@@ -88,6 +90,32 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
                        help="in-flight branches before execute (default 6)")
     group.add_argument("--penalty", type=int, default=None, metavar="CYCLES",
                        help="misprediction penalty for MPPKI (default 20)")
+
+
+def _add_shard_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("trace sharding")
+    group.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="split each trace into N warmup+measure shards "
+                            "(0 derives N from the trace length; 1 disables "
+                            "sharding even past the auto-shard threshold)")
+    group.add_argument("--warmup", type=int, default=None, metavar="K",
+                       help=f"warmup branches replayed before each measured "
+                            f"window (default {DEFAULT_WARMUP})")
+    group.add_argument("--shard-mode", choices=list(SHARD_MODES), default=None,
+                       help="warmup: independent approximate shards (fast); "
+                            "exact: predictor state handed shard-to-shard "
+                            "(bit-identical, pipelined)")
+
+
+def _sharding_policy(args: argparse.Namespace) -> ShardingPolicy | None:
+    """The policy the shard flags describe, or None when none were given."""
+    if args.shards is None and args.warmup is None and args.shard_mode is None:
+        return None
+    return ShardingPolicy(
+        shards=args.shards if args.shards is not None else 0,
+        warmup=args.warmup if args.warmup is not None else DEFAULT_WARMUP,
+        mode=args.shard_mode or "warmup",
+    )
 
 
 def _runner_config(args: argparse.Namespace) -> RunnerConfig:
@@ -161,6 +189,9 @@ def _build_requests(args: argparse.Namespace, context: str) -> list[RunRequest]:
                 ("--retire-delay", args.retire_delay is not None),
                 ("--execute-delay", args.execute_delay is not None),
                 ("--penalty", args.penalty is not None),
+                ("--shards", args.shards is not None),
+                ("--warmup", args.warmup is not None),
+                ("--shard-mode", args.shard_mode is not None),
             ] if given
         ]
         if conflicting:
@@ -183,7 +214,8 @@ def _build_requests(args: argparse.Namespace, context: str) -> list[RunRequest]:
     refs = args.trace or [_DEFAULT_RUN_TRACE]
     pipeline = _pipeline(args)
     scenario = args.scenario if args.scenario is not None else "I"
-    return [RunRequest(spec, ref, scenario, pipeline) for ref in refs]
+    sharding = _sharding_policy(args)
+    return [RunRequest(spec, ref, scenario, pipeline, sharding) for ref in refs]
 
 
 def _print_result_payloads(payloads: list[dict]) -> None:
@@ -426,6 +458,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print the request JSON and exit without simulating")
     run.add_argument("--json", action="store_true", help="machine-readable output")
     _add_pipeline_options(run)
+    _add_shard_options(run)
     _add_runner_options(run)
     run.set_defaults(func=_cmd_run)
 
@@ -535,6 +568,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="seconds to wait for completion (default 120)")
     submit.add_argument("--json", action="store_true", help="machine-readable output")
     _add_pipeline_options(submit)
+    _add_shard_options(submit)
     submit.set_defaults(func=_cmd_submit)
 
     return parser

@@ -20,6 +20,11 @@ Environment variables (read by :meth:`RunnerConfig.from_env`):
     Size bound (megabytes) for the on-disk cache; least-recently-used
     entries are evicted on write to stay under it.  Unset/empty means
     unbounded.
+``REPRO_SUITE_AUTOSHARD``
+    Branch-count threshold above which the runner automatically shards a
+    resolved trace (bounded-warmup mode, deterministic length-derived
+    shard count).  ``off`` disables auto-sharding; unset keeps the
+    default (:data:`DEFAULT_AUTO_SHARD_BRANCHES`).
 """
 
 from __future__ import annotations
@@ -31,11 +36,14 @@ from typing import Mapping
 from repro.pipeline.parallel import SuiteCache
 
 __all__ = [
+    "DEFAULT_AUTO_SHARD_BRANCHES",
+    "ENV_AUTOSHARD",
     "ENV_CACHE",
     "ENV_CACHE_MAX_MB",
     "ENV_CACHE_VERSION",
     "ENV_WORKERS",
     "RunnerConfig",
+    "parse_auto_shard",
     "parse_cache_max_mb",
     "parse_workers",
 ]
@@ -44,6 +52,12 @@ ENV_WORKERS = "REPRO_SUITE_WORKERS"
 ENV_CACHE = "REPRO_SUITE_CACHE"
 ENV_CACHE_VERSION = "REPRO_SUITE_CACHE_VERSION"
 ENV_CACHE_MAX_MB = "REPRO_SUITE_CACHE_MAX_MB"
+ENV_AUTOSHARD = "REPRO_SUITE_AUTOSHARD"
+
+#: Traces at least this many branches long are sharded automatically.
+#: 200k branches ≈ one CBP-scale trace slice; below that the warmup
+#: replay overhead outweighs the fan-out.
+DEFAULT_AUTO_SHARD_BRANCHES = 200_000
 
 
 def parse_cache_max_mb(text: str, context: str = "cache size") -> float:
@@ -55,6 +69,22 @@ def parse_cache_max_mb(text: str, context: str = "cache size") -> float:
     if megabytes <= 0:
         raise ValueError(f"{context} must be positive, got {megabytes}")
     return megabytes
+
+
+def parse_auto_shard(text: str, context: str = "auto-shard threshold") -> int | None:
+    """Parse an auto-shard threshold: a positive branch count, or ``off`` (= None)."""
+    value = text.strip()
+    if value.lower() in ("off", "none", "0"):
+        return None
+    try:
+        threshold = int(value)
+    except ValueError:
+        raise ValueError(
+            f"{context} must be a positive branch count or 'off', got {text!r}"
+        ) from None
+    if threshold < 1:
+        raise ValueError(f"{context} must be positive, got {threshold}")
+    return threshold
 
 
 def parse_workers(text: str, context: str = "workers") -> int | None:
@@ -96,12 +126,20 @@ class RunnerConfig:
     cache_max_mb:
         Size bound for the on-disk cache in megabytes (LRU eviction on
         write); ``None`` means unbounded.
+    auto_shard_branches:
+        Resolved traces at least this long are automatically split into
+        bounded-warmup shards by the runner (the shard count is derived
+        from the trace length alone, so results do not depend on the
+        executing machine); ``None`` disables auto-sharding.  An explicit
+        per-request :class:`~repro.traces.sharding.ShardingPolicy`
+        always wins over this default.
     """
 
     workers: int | None = 1
     cache_dir: str | None = None
     cache_version: str = ""
     cache_max_mb: float | None = None
+    auto_shard_branches: int | None = DEFAULT_AUTO_SHARD_BRANCHES
 
     def __post_init__(self) -> None:
         if self.workers is not None:
@@ -122,6 +160,18 @@ class RunnerConfig:
                 )
             if self.cache_max_mb <= 0:
                 raise ValueError(f"cache_max_mb must be positive, got {self.cache_max_mb}")
+        if self.auto_shard_branches is not None:
+            if not isinstance(self.auto_shard_branches, int) or isinstance(
+                self.auto_shard_branches, bool
+            ):
+                raise ValueError(
+                    f"auto_shard_branches must be a positive int or None, "
+                    f"got {self.auto_shard_branches!r}"
+                )
+            if self.auto_shard_branches < 1:
+                raise ValueError(
+                    f"auto_shard_branches must be positive, got {self.auto_shard_branches}"
+                )
 
     @classmethod
     def from_env(cls, environ: Mapping[str, str] | None = None) -> "RunnerConfig":
@@ -136,11 +186,18 @@ class RunnerConfig:
         workers = parse_workers(raw, context=ENV_WORKERS) if raw else 1
         raw_max = (env.get(ENV_CACHE_MAX_MB) or "").strip()
         cache_max_mb = parse_cache_max_mb(raw_max, context=ENV_CACHE_MAX_MB) if raw_max else None
+        raw_shard = (env.get(ENV_AUTOSHARD) or "").strip()
+        auto_shard = (
+            parse_auto_shard(raw_shard, context=ENV_AUTOSHARD)
+            if raw_shard
+            else DEFAULT_AUTO_SHARD_BRANCHES
+        )
         return cls(
             workers=workers,
             cache_dir=(env.get(ENV_CACHE) or "").strip() or None,
             cache_version=(env.get(ENV_CACHE_VERSION) or "").strip(),
             cache_max_mb=cache_max_mb,
+            auto_shard_branches=auto_shard,
         )
 
     @property

@@ -20,21 +20,27 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.scenarios import UpdateScenario
 from repro.predictors.base import Predictor
 from repro.predictors.registry import PredictorSpec, spec_of
 from repro.traces.refs import parse_trace_ref, resolve_trace_ref
+from repro.traces.sharding import ShardingPolicy
 from repro.traces.trace import Trace
 
-__all__ = ["REQUEST_SCHEMA_VERSION", "RunRequest", "coerce_scenario"]
+__all__ = [
+    "REQUEST_SCHEMA_VERSION",
+    "RunRequest",
+    "coerce_scenario",
+    "validate_shard_coverage",
+]
 
 #: Version of the ``to_dict``/``from_dict`` payload layout.
 REQUEST_SCHEMA_VERSION = 1
 
-_PAYLOAD_KEYS = {"version", "predictor", "trace", "scenario", "pipeline"}
+_PAYLOAD_KEYS = {"version", "predictor", "trace", "scenario", "pipeline", "sharding"}
 
 
 def coerce_scenario(value: Any) -> UpdateScenario:
@@ -70,12 +76,19 @@ class RunRequest:
     pipeline:
         In-flight window model; accepts a :class:`PipelineConfig` or its
         keyword dict.
+    sharding:
+        Optional :class:`~repro.traces.sharding.ShardingPolicy` (or its
+        keyword dict) asking the runner to fan each resolved trace out as
+        warmup+measure shards.  Mutually exclusive with a ``#shard=``
+        fragment in ``trace`` — a reference that already names one shard
+        must not be sharded again.
     """
 
     predictor: PredictorSpec
     trace: str
     scenario: UpdateScenario = UpdateScenario.IMMEDIATE
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    sharding: ShardingPolicy | None = None
 
     def __post_init__(self) -> None:
         predictor = self.predictor
@@ -89,7 +102,7 @@ class RunRequest:
                 f"predictor, got {type(predictor).__name__}"
             )
         object.__setattr__(self, "predictor", predictor)
-        parse_trace_ref(self.trace)
+        parsed_ref = parse_trace_ref(self.trace)
         object.__setattr__(self, "scenario", coerce_scenario(self.scenario))
         pipeline = self.pipeline
         if isinstance(pipeline, Mapping):
@@ -107,6 +120,19 @@ class RunRequest:
                 f"pipeline must be a PipelineConfig or a dict, got {type(pipeline).__name__}"
             )
         object.__setattr__(self, "pipeline", pipeline)
+        sharding = self.sharding
+        if isinstance(sharding, Mapping):
+            sharding = ShardingPolicy.from_dict(sharding)
+        elif sharding is not None and not isinstance(sharding, ShardingPolicy):
+            raise ValueError(
+                f"sharding must be a ShardingPolicy or a dict, got {type(sharding).__name__}"
+            )
+        if sharding is not None and parsed_ref.shard is not None:
+            raise ValueError(
+                f"trace ref {self.trace!r} already names one shard; "
+                "a sharding policy cannot shard it again"
+            )
+        object.__setattr__(self, "sharding", sharding)
 
     def resolve_traces(self) -> list[Trace]:
         """Resolve the trace reference to the deterministic traces it names."""
@@ -127,6 +153,8 @@ class RunRequest:
             "scenario": self.scenario.value,
             "pipeline": dataclasses.asdict(self.pipeline),
         }
+        if self.sharding is not None:
+            payload["sharding"] = self.sharding.to_dict()
         try:
             if json.loads(json.dumps(payload)) != payload:
                 raise TypeError("payload does not survive a JSON round trip")
@@ -175,9 +203,50 @@ class RunRequest:
             trace=payload["trace"],
             scenario=payload.get("scenario", UpdateScenario.IMMEDIATE),
             pipeline=payload.get("pipeline") or PipelineConfig(),
+            sharding=payload.get("sharding"),
         )
 
     @classmethod
     def from_json(cls, text: str) -> "RunRequest":
         """Rebuild a request from a JSON string."""
         return cls.from_dict(json.loads(text))
+
+
+def validate_shard_coverage(requests: Sequence["RunRequest"]) -> None:
+    """Reject batches that submit the same shard of a trace more than once.
+
+    Shard results are meant to be merged back into one trace result;
+    submitting shard ``0/4`` twice — or mixing ``/2`` and ``/4`` plans of
+    the same trace — would reassemble overlapping windows into a silently
+    wrong sum.  This check runs where batches form (the runner's
+    ``run_batch``, the service's submission parser) and raises
+    :class:`ValueError` naming the offending references.  Whole-trace
+    requests are untouched: duplicates of those are legitimate (the
+    scheduler deduplicates them) and a whole trace next to its own shards
+    is a valid parity experiment — each request aggregates separately.
+    """
+    plans: dict[tuple, tuple[int, set[int]]] = {}
+    for request in requests:
+        parsed = parse_trace_ref(request.trace)
+        if parsed.shard is None:
+            continue
+        index, count = parsed.shard
+        base_canonical, _, _ = parsed.canonical.partition("#")
+        key = (request.predictor, base_canonical, request.scenario, request.pipeline)
+        plan = plans.get(key)
+        if plan is None:
+            plans[key] = (count, {index})
+            continue
+        seen_count, indices = plan
+        if seen_count != count:
+            raise ValueError(
+                f"inconsistent shard plans for {base_canonical!r}: the batch splits it "
+                f"both {seen_count} and {count} ways — their windows would overlap "
+                "when merged"
+            )
+        if index in indices:
+            raise ValueError(
+                f"duplicate shard submission for {base_canonical!r}: "
+                f"shard {index}/{count} appears more than once in the batch"
+            )
+        indices.add(index)

@@ -35,14 +35,21 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.api.config import RunnerConfig
-from repro.api.request import RunRequest, coerce_scenario
+from repro.api.request import RunRequest, coerce_scenario, validate_shard_coverage
 from repro.pipeline.config import PipelineConfig
-from repro.pipeline.metrics import SuiteResult
-from repro.pipeline.parallel import SuiteCache, WorkerPool, run_simulations
+from repro.pipeline.metrics import SimulationResult, SuiteResult
+from repro.pipeline.parallel import (
+    ExactShardChain,
+    SuiteCache,
+    WorkerPool,
+    run_exact_chains,
+    run_simulations,
+)
 from repro.pipeline.scenarios import UpdateScenario
 from repro.predictors.base import Predictor
 from repro.predictors.registry import PredictorSpec, spec_of
 from repro.traces.refs import parse_trace_ref, resolve_trace_ref
+from repro.traces.sharding import auto_shard_count, plan_shards, shard_trace
 from repro.traces.trace import Trace
 
 __all__ = ["Runner", "active_runner", "using_runner"]
@@ -147,17 +154,115 @@ class Runner:
         """Execute one request and return its suite result."""
         return self.run_batch([request])[0]
 
+    # -- sharding ------------------------------------------------------
+
+    def _shard_plan(
+        self, request: RunRequest, trace: Trace
+    ) -> tuple[list, str] | None:
+        """The (windows, mode) sharding decision for one resolved trace.
+
+        ``None`` means run whole.  An explicit request policy wins;
+        otherwise traces at least ``config.auto_shard_branches`` long are
+        split in bounded-warmup mode.  Both derive the shard count from
+        the trace length alone (:func:`auto_shard_count`), so the same
+        request shards the same way on every machine.  Traces that *are*
+        shards already (a ``#shard=`` reference) are never re-sharded.
+        """
+        if trace.window is not None:
+            return None
+        length = len(trace)
+        policy = request.sharding
+        if policy is not None:
+            count = policy.shards or auto_shard_count(length)
+            if count <= 1:
+                return None
+            return plan_shards(length, count, policy.warmup), policy.mode
+        threshold = self.config.auto_shard_branches
+        if threshold is None or length < threshold:
+            return None
+        # Per-shard floor scales with the configured threshold, so a trace
+        # right at the threshold always splits in two and the defaults
+        # (200k threshold, 100k floor) match auto_shard_count's own.
+        count = auto_shard_count(length, min_branches=max(1, threshold // 2))
+        if count <= 1:
+            return None
+        return plan_shards(length, count), "warmup"
+
     def run_batch(self, requests: Sequence[RunRequest]) -> list[SuiteResult]:
         """Execute many requests with every (spec, trace) pair in one pool.
 
         Results come back in request order; identical runs appearing in
-        several requests are simulated once.
+        several requests are simulated once per batch.  Traces selected
+        for sharding (an explicit request policy, or the auto-shard
+        length threshold) are fanned out as warmup+measure shard tasks
+        in the same pool — or as exact-mode state-handoff chains — and
+        their window results are merged back, so a caller always
+        receives one result per trace.  Exact-mode chains bypass the
+        on-disk result cache (their point is the state handoff, not
+        reuse); whole traces and warmup-mode shards cache normally.
         """
-        jobs = [
-            (request.predictor, self.resolve(request.trace), request.scenario, request.pipeline)
-            for request in requests
-        ]
-        return self.run_suites(jobs)
+        validate_shard_coverage(requests)
+        flat: list[tuple] = []
+        chains: list[ExactShardChain] = []
+        layout: list[list[tuple]] = []  # per request: ("one"|"merge"|"chain", positions)
+        # Both memos are per-batch: identical sharded requests within the
+        # batch share slices (so the scheduler deduplicates their tasks)
+        # and exact chains (so the chain runs once), without the runner
+        # retaining record copies for its whole lifetime.
+        sliced: dict[tuple, list[Trace]] = {}
+        chain_index: dict[tuple, int] = {}
+        for request in requests:
+            spec, scenario, config = request.predictor, request.scenario, request.pipeline
+            units: list[tuple] = []
+            for trace in self.resolve(request.trace):
+                plan = self._shard_plan(request, trace)
+                if plan is None:
+                    units.append(("one", len(flat)))
+                    flat.append((spec, trace, scenario, config))
+                    continue
+                windows, mode = plan
+                plan_key = tuple((w.warmup_start, w.start, w.stop) for w in windows)
+                if mode == "exact":
+                    key = (spec, id(trace), scenario, config, plan_key)
+                    if key not in chain_index:
+                        chain_index[key] = len(chains)
+                        chains.append(ExactShardChain(spec, trace, windows, scenario, config))
+                    units.append(("chain", chain_index[key]))
+                else:
+                    slice_key = (id(trace), plan_key)
+                    shards = sliced.get(slice_key)
+                    if shards is None:
+                        shards = sliced[slice_key] = [
+                            shard_trace(trace, window) for window in windows
+                        ]
+                    positions = []
+                    for shard in shards:
+                        positions.append(len(flat))
+                        flat.append((spec, shard, scenario, config))
+                    units.append(("merge", positions))
+            layout.append(units)
+
+        pool = self._acquire_pool()
+        results = run_simulations(
+            flat, max_workers=self.config.workers, cache=self.cache, pool=pool
+        )
+        chain_results = run_exact_chains(chains, pool=pool, max_workers=self.config.workers)
+
+        suites: list[SuiteResult] = []
+        for request, units in zip(requests, layout):
+            merged: list[SimulationResult] = []
+            for kind, positions in units:
+                if kind == "one":
+                    merged.append(results[positions])
+                elif kind == "chain":
+                    merged.append(chain_results[positions])
+                else:
+                    merged.append(SimulationResult.merge([results[p] for p in positions]))
+            suite = SuiteResult(predictor_name=merged[0].predictor_name)
+            for result in merged:
+                suite.add(result)
+            suites.append(suite)
+        return suites
 
     def product(
         self,

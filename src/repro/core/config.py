@@ -79,7 +79,7 @@ class TAGEConfig:
             raise ValueError(
                 "table_log2_entries, tag_widths and history_lengths must have the same length"
             )
-        if any(l < 1 or l > 24 for l in self.table_log2_entries):
+        if any(n < 1 or n > 24 for n in self.table_log2_entries):
             raise ValueError("tagged-table log2 entries out of range")
         if any(w < 4 or w > 24 for w in self.tag_widths):
             raise ValueError("tag widths out of range")

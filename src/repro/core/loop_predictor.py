@@ -17,7 +17,7 @@ several iterations of the same loop are simultaneously in the pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.bits import mask
 from repro.common.storage import StorageReport

@@ -24,7 +24,7 @@ provider counter value (for the Statistical Corrector).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -187,7 +187,6 @@ class TAGEPredictor(Predictor):
     # -- Predictor interface -------------------------------------------------
 
     def predict(self, pc: int) -> TAGEPrediction:
-        cfg = self.config
         base_info = self.base.predict(pc)
 
         indices = tuple(self.table_index(pc, table) for table in range(self.num_tables))

@@ -30,11 +30,26 @@ engine, see :mod:`repro.pipeline.simulator`):
 
 At end-of-trace the window is drained through the same retire stage, so
 in-flight branches are never dropped.
+
+Two refinements serve trace sharding (:mod:`repro.traces.sharding`):
+
+* a branch may be fed as **warmup** — it runs through every stage
+  (predict, history, execute, update) so the predictor state evolves
+  exactly as in a longer run, but contributes nothing to the metrics;
+  :meth:`run` treats the first :attr:`Trace.warmup_count` records of a
+  trace this way;
+* the loop is exposed as a **streaming API** (:meth:`start` /
+  :meth:`feed` / :meth:`drain_window` / :meth:`result`, with
+  :meth:`export_state` / :meth:`import_state` for the in-flight window)
+  so exact-mode sharding can stop mid-trace, pickle the predictor plus
+  the un-retired window, and resume on another worker without draining —
+  the partial in-flight window crosses the shard boundary intact.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import Iterable
 
 from repro.hardware.access_counter import AccessProfile
 from repro.pipeline.config import PipelineConfig
@@ -55,13 +70,16 @@ def _ium_overrides(predictor: Predictor) -> int:
 class _InflightEntry:
     """One branch between fetch and retire."""
 
-    __slots__ = ("record", "info", "mispredicted", "executed")
+    __slots__ = ("record", "info", "mispredicted", "executed", "measured")
 
-    def __init__(self, record: BranchRecord, info, mispredicted: bool) -> None:
+    def __init__(
+        self, record: BranchRecord, info, mispredicted: bool, measured: bool = True
+    ) -> None:
         self.record = record
         self.info = info
         self.mispredicted = mispredicted
         self.executed = False
+        self.measured = measured
 
 
 class SimulationEngine:
@@ -102,19 +120,28 @@ class SimulationEngine:
         self._window: deque[_InflightEntry] = deque()
         self._accesses = AccessProfile()
         self._mispredictions = 0
+        self._branches = 0
+        self._instructions = 0
+        self._warmup_branches = 0
+        self._overrides_base = 0
 
     # -- stages ---------------------------------------------------------------
 
-    def _fetch(self, record: BranchRecord) -> None:
-        """Fetch stage: predict, account, advance speculative history."""
+    def _fetch(self, record: BranchRecord, measured: bool) -> None:
+        """Fetch stage: predict, account (measured only), advance history."""
         predictor = self.predictor
         info = predictor.predict(record.pc)
         mispredicted = info.taken != record.taken
-        if mispredicted:
-            self._mispredictions += 1
-        self._accesses.record_prediction(mispredicted)
+        if measured:
+            if mispredicted:
+                self._mispredictions += 1
+            self._accesses.record_prediction(mispredicted)
+            self._branches += 1
+            self._instructions += record.preceding_instructions + 1
+        else:
+            self._warmup_branches += 1
         predictor.update_history(record.pc, record.taken, info)
-        self._window.append(_InflightEntry(record, info, mispredicted))
+        self._window.append(_InflightEntry(record, info, mispredicted, measured))
 
     def _execute(self) -> None:
         """Execute stage: the branch ``execute_delay`` slots back resolves."""
@@ -133,47 +160,108 @@ class SimulationEngine:
             # Zero-delay oracle: the update runs at fetch time from fresh
             # table values, so no separate retire-time read is charged.
             stats = self.predictor.update(record.pc, record.taken, entry.info, reread=True)
-            self._accesses.record_update(stats, retire_read=False)
+            if entry.measured:
+                self._accesses.record_update(stats, retire_read=False)
             return
         if not entry.executed:
             self.predictor.notify_execute(record.pc, record.taken, entry.info)
         reread = self.scenario.reread_at_retire(entry.mispredicted)
         stats = self.predictor.update(record.pc, record.taken, entry.info, reread=reread)
-        self._accesses.record_update(stats, retire_read=reread)
+        if entry.measured:
+            self._accesses.record_update(stats, retire_read=reread)
 
     def _retire_ready(self) -> None:
         """Retire every branch past the window depth (oldest first)."""
         while len(self._window) > self._retire_delay:
             self._retire(self._window.popleft())
 
-    def _drain(self) -> None:
+    # -- streaming ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin a run: clear the window, zero the metrics.
+
+        The predictor is *not* reset — exact-mode shards deliberately
+        continue from handed-over state; callers wanting power-on state
+        reset or rebuild the predictor themselves.
+        """
+        self._window.clear()
+        self._accesses = AccessProfile()
+        self._mispredictions = 0
+        self._branches = 0
+        self._instructions = 0
+        self._warmup_branches = 0
+        self._overrides_base = _ium_overrides(self.predictor)
+
+    def feed(self, records: Iterable[BranchRecord], measured: bool = True) -> None:
+        """Drive the staged loop over ``records`` without draining.
+
+        ``measured=False`` replays the records for predictor state only
+        (warmup): every stage runs, nothing is accounted.
+        """
+        for record in records:
+            self._fetch(record, measured)
+            self._execute()
+            self._retire_ready()
+
+    def drain_window(self) -> None:
         """End-of-trace: retire every branch still in flight."""
         while self._window:
             self._retire(self._window.popleft())
 
-    # -- driving --------------------------------------------------------------
+    def mark_measured(self) -> None:
+        """Snapshot the IUM override counter: overrides so far were warmup."""
+        self._overrides_base = _ium_overrides(self.predictor)
 
-    def run(self, trace: Trace) -> SimulationResult:
-        """Drive the staged loop over ``trace`` and return its metrics."""
-        self._window.clear()
-        self._accesses = AccessProfile()
-        self._mispredictions = 0
-        overrides_before = _ium_overrides(self.predictor)
-
-        for record in trace:
-            self._fetch(record)
-            self._execute()
-            self._retire_ready()
-        self._drain()
-
+    def result(
+        self, trace_name: str, window: tuple[int, int, int] | None = None
+    ) -> SimulationResult:
+        """The metrics accumulated since :meth:`start`."""
         return SimulationResult(
-            trace_name=trace.name,
+            trace_name=trace_name,
             predictor_name=self.predictor.name,
-            branches=trace.branch_count,
-            instructions=trace.instruction_count,
+            branches=self._branches,
+            instructions=self._instructions,
             mispredictions=self._mispredictions,
             misprediction_penalty=self.config.misprediction_penalty,
             accesses=self._accesses,
             scenario=self.scenario.label,
-            ium_overrides=_ium_overrides(self.predictor) - overrides_before,
+            ium_overrides=_ium_overrides(self.predictor) - self._overrides_base,
+            window=window,
+            warmup_branches=self._warmup_branches,
         )
+
+    def export_state(self) -> list[tuple]:
+        """The in-flight window as picklable tuples (for exact sharding)."""
+        return [
+            (entry.record, entry.info, entry.mispredicted, entry.executed, entry.measured)
+            for entry in self._window
+        ]
+
+    def import_state(self, entries: Iterable[tuple]) -> None:
+        """Restore an :meth:`export_state` window (oldest first)."""
+        for record, info, mispredicted, executed, measured in entries:
+            entry = _InflightEntry(record, info, mispredicted, measured)
+            entry.executed = executed
+            self._window.append(entry)
+
+    # -- driving --------------------------------------------------------------
+
+    def run(self, trace: Trace) -> SimulationResult:
+        """Drive the staged loop over ``trace`` and return its metrics.
+
+        The first :attr:`Trace.warmup_count` records are replayed as
+        warmup (predict + history + update, no accounting); measurement
+        covers the rest.  Whole traces have ``warmup_count == 0`` and
+        behave exactly as before.
+        """
+        warmup = trace.warmup_count
+        if not 0 <= warmup <= len(trace.records):
+            raise ValueError(
+                f"trace {trace.name!r}: warmup_count {warmup} outside [0, {len(trace.records)}]"
+            )
+        self.start()
+        self.feed(trace.records[:warmup], measured=False)
+        self.mark_measured()
+        self.feed(trace.records[warmup:])
+        self.drain_window()
+        return self.result(trace.source_name or trace.name, window=trace.window)

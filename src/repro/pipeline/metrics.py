@@ -8,11 +8,19 @@ counts (and the derived MPKI) and the penalty-weighted MPPKI, plus the
 predictor-access profile used by the hardware-cost experiments.
 :class:`SuiteResult` aggregates per-trace results the way the paper does
 (per-kilo-instruction rates over the whole suite).
+
+A :class:`SimulationResult` may cover only a *window* of its trace (one
+shard of a long trace fanned out across workers — see
+:mod:`repro.traces.sharding`); :meth:`SimulationResult.merge` reassembles
+the shards into the one result the unsharded run would have produced, and
+refuses overlapping or gapped windows so a mis-planned fan-out can never
+produce a silently wrong sum.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.hardware.access_counter import AccessProfile
 
@@ -41,6 +49,14 @@ class SimulationResult:
     ium_overrides:
         Number of predictions overridden by the Immediate Update Mimicker,
         when the predictor has one.
+    window:
+        ``(start, stop, total)`` when this result covers only the measured
+        window ``[start, stop)`` of a ``total``-branch trace (one shard);
+        ``None`` for whole-trace results.
+    warmup_branches:
+        Branches replayed (without accounting) to warm the predictor
+        before the measured window; zero for whole traces and exact-mode
+        shards.
     """
 
     trace_name: str
@@ -52,6 +68,8 @@ class SimulationResult:
     accesses: AccessProfile = field(default_factory=AccessProfile)
     scenario: str = ""
     ium_overrides: int = 0
+    window: tuple[int, int, int] | None = None
+    warmup_branches: int = 0
 
     @property
     def correct_predictions(self) -> int:
@@ -78,10 +96,79 @@ class SimulationResult:
     def summary(self) -> str:
         """One-line human-readable description of the run."""
         scenario = f" {self.scenario}" if self.scenario else ""
+        where = self.trace_name
+        if self.window is not None:
+            where += f"[{self.window[0]}:{self.window[1]}]"
         return (
-            f"{self.predictor_name}{scenario} on {self.trace_name}: "
+            f"{self.predictor_name}{scenario} on {where}: "
             f"{self.mispredictions}/{self.branches} mispredictions, "
             f"MPKI {self.mpki:.2f}, MPPKI {self.mppki:.1f}"
+        )
+
+    @classmethod
+    def merge(cls, parts: Sequence["SimulationResult"]) -> "SimulationResult":
+        """Reassemble shard results into the one result for their trace.
+
+        Every part must be a *window* result (``window`` set) of the same
+        (trace, predictor, scenario, penalty) run, and the sorted windows
+        must tile a contiguous range — an overlap or a gap raises
+        :class:`ValueError` rather than summing to a silently wrong
+        total.  When the parts cover the whole trace the merged result is
+        indistinguishable from an unsharded run (``window`` is ``None``);
+        a partial reassembly keeps the covered range in ``window``.
+        """
+        if not parts:
+            raise ValueError("merge needs at least one shard result")
+        first = parts[0]
+        for part in parts:
+            if part.window is None:
+                raise ValueError(
+                    f"cannot merge whole-trace result for {part.trace_name!r}: "
+                    "only window (shard) results merge"
+                )
+            mismatched = [
+                label
+                for label, left, right in (
+                    ("trace", first.trace_name, part.trace_name),
+                    ("predictor", first.predictor_name, part.predictor_name),
+                    ("scenario", first.scenario, part.scenario),
+                    ("penalty", first.misprediction_penalty, part.misprediction_penalty),
+                    ("trace length", first.window[2], part.window[2]),
+                )
+                if left != right
+            ]
+            if mismatched:
+                raise ValueError(
+                    f"cannot merge shard results from different runs "
+                    f"(mismatched {', '.join(mismatched)}: "
+                    f"{first.summary()!r} vs {part.summary()!r})"
+                )
+        ordered = sorted(parts, key=lambda part: part.window[0])
+        for before, after in zip(ordered, ordered[1:]):
+            if before.window[1] != after.window[0]:
+                problem = "overlap" if before.window[1] > after.window[0] else "gap"
+                raise ValueError(
+                    f"shard windows for {first.trace_name!r} have a {problem}: "
+                    f"[{before.window[0]}, {before.window[1]}) then "
+                    f"[{after.window[0]}, {after.window[1]})"
+                )
+        accesses = AccessProfile()
+        for part in ordered:
+            accesses.merge(part.accesses)
+        start, stop, total = ordered[0].window[0], ordered[-1].window[1], ordered[0].window[2]
+        complete = start == 0 and stop == total
+        return cls(
+            trace_name=first.trace_name,
+            predictor_name=first.predictor_name,
+            branches=sum(part.branches for part in ordered),
+            instructions=sum(part.instructions for part in ordered),
+            mispredictions=sum(part.mispredictions for part in ordered),
+            misprediction_penalty=first.misprediction_penalty,
+            accesses=accesses,
+            scenario=first.scenario,
+            ium_overrides=sum(part.ium_overrides for part in ordered),
+            window=None if complete else (start, stop, total),
+            warmup_branches=sum(part.warmup_branches for part in ordered),
         )
 
 
@@ -93,7 +180,32 @@ class SuiteResult:
     results: list[SimulationResult] = field(default_factory=list)
 
     def add(self, result: SimulationResult) -> None:
-        """Append one trace's result."""
+        """Append one trace's result.
+
+        Window (shard) results are validated against what the suite
+        already holds: two overlapping windows of the same trace — or a
+        window of a trace whose whole-trace result is already present —
+        would double-count branches, so the add raises
+        :class:`ValueError` instead of producing a silently wrong suite
+        sum.  Merge shards with :meth:`SimulationResult.merge` first.
+        """
+        for existing in self.results:
+            if existing.trace_name != result.trace_name:
+                continue
+            if existing.window is None and result.window is None:
+                continue  # repeated whole-trace runs remain the caller's business
+            if existing.window is None or result.window is None:
+                raise ValueError(
+                    f"suite already holds {'a whole-trace' if result.window else 'a window'} "
+                    f"result for {result.trace_name!r}; mixing whole and window results "
+                    "double-counts branches (merge shards first)"
+                )
+            if existing.window[0] < result.window[1] and result.window[0] < existing.window[1]:
+                raise ValueError(
+                    f"shard windows for {result.trace_name!r} overlap: "
+                    f"[{existing.window[0]}, {existing.window[1]}) and "
+                    f"[{result.window[0]}, {result.window[1]})"
+                )
         self.results.append(result)
 
     def __len__(self) -> int:
@@ -146,8 +258,14 @@ class SuiteResult:
         return picked
 
     def per_trace(self) -> dict[str, float]:
-        """Mapping from trace name to MPPKI."""
-        return {result.trace_name: result.mppki for result in self.results}
+        """Mapping from trace name (window-qualified for shards) to MPPKI."""
+        rows = {}
+        for result in self.results:
+            key = result.trace_name
+            if result.window is not None:
+                key += f"[{result.window[0]}:{result.window[1]}]"
+            rows[key] = result.mppki
+        return rows
 
     def summary(self) -> str:
         """One-line human-readable description of the suite run."""

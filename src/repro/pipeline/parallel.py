@@ -27,7 +27,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
 from repro.pipeline.config import PipelineConfig
@@ -36,13 +36,16 @@ from repro.pipeline.metrics import SimulationResult, SuiteResult
 from repro.pipeline.scenarios import UpdateScenario
 from repro.predictors.base import Predictor
 from repro.predictors.registry import PredictorSpec, spec_of
+from repro.traces.sharding import ShardWindow
 from repro.traces.trace import Trace
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "ExactShardChain",
     "ParallelSuiteRunner",
     "SuiteCache",
     "WorkerPool",
+    "run_exact_chains",
     "run_simulations",
     "trace_fingerprint",
 ]
@@ -329,6 +332,151 @@ def _simulate_one_warm(task: tuple) -> tuple[SimulationResult, bool]:
     return SimulationEngine(predictor, scenario, config).run(trace), warm
 
 
+def _run_exact_shard(payload: tuple) -> tuple[SimulationResult, bytes | None]:
+    """Pool worker: one exact-mode shard of a trace.
+
+    ``payload`` is ``(spec, records, name, window, scenario, config,
+    state, final)``.  With ``state=None`` (first shard) the predictor
+    starts from power-on state, exactly like an unsharded run; otherwise
+    ``state`` is the pickled ``(predictor, in-flight window)`` handed
+    over by the previous shard, so measurement resumes mid-pipeline —
+    partially executed branches retire here, under the same scenario
+    policy, with their update accounted to the shard that retires them.
+    Returns the shard's window result plus the pickled state for the next
+    shard (``None`` after the final shard, which drains).
+    """
+    spec, records, name, window, scenario, config, state, final = payload
+    if state is None:
+        predictor, _ = _predictor_for(spec)
+        entries: list[tuple] = []
+    else:
+        predictor, entries = pickle.loads(state)
+    engine = SimulationEngine(predictor, scenario, config)
+    engine.start()
+    engine.import_state(entries)
+    engine.feed(records)
+    if final:
+        engine.drain_window()
+    result = engine.result(name, window=window)
+    handoff = None if final else pickle.dumps((predictor, engine.export_state()))
+    return result, handoff
+
+
+@dataclass
+class ExactShardChain:
+    """One trace's exact-mode shard pipeline: sequential jobs, shared state.
+
+    ``windows`` must tile the whole trace (that is what makes the merged
+    result bit-identical to the unsharded run); each shard job feeds its
+    measured records only — no warmup replay, the predictor state *is*
+    the warmup.
+    """
+
+    spec: PredictorSpec
+    trace: Trace
+    windows: list[ShardWindow]
+    scenario: UpdateScenario
+    config: PipelineConfig
+
+    def __post_init__(self) -> None:
+        if not self.windows:
+            raise ValueError("an exact shard chain needs at least one window")
+        if self.trace.window is not None:
+            raise ValueError(
+                f"trace {self.trace.name!r} is already a shard and cannot chain"
+            )
+
+    def payload(self, index: int, state: bytes | None) -> tuple:
+        """The worker payload for shard ``index`` given the handed-over state."""
+        window = self.windows[index]
+        return (
+            self.spec,
+            self.trace.records[window.start : window.stop],
+            self.trace.name,
+            (window.start, window.stop, window.total),
+            self.scenario,
+            self.config,
+            state,
+            index == len(self.windows) - 1,
+        )
+
+
+def run_exact_chains(
+    chains: list[ExactShardChain],
+    pool: "WorkerPool | None" = None,
+    max_workers: int | None = None,
+) -> list[SimulationResult]:
+    """Execute exact-mode shard chains, pipelined across one pool.
+
+    Shards *within* a chain are strictly sequential (each consumes the
+    predictor state its predecessor pickled), so a single chain gains no
+    wall-clock speedup — exactness, not speed, is this mode's point.
+    Chains *of different traces* overlap: whenever one chain's next shard
+    is dispatched, other chains' shards keep the remaining workers busy.
+    Results come back in chain order, each the merge of its shard
+    results — bit-identical to the unsharded runs.
+
+    With ``pool`` set the shards run on the persistent
+    :class:`WorkerPool`; otherwise an ephemeral executor is used when
+    ``max_workers`` and the chain count allow any overlap, and everything
+    runs in-process when they do not (the pickled handoff still happens,
+    so the serial path exercises the same state protocol).
+    """
+    if not chains:
+        return []
+    parts: list[list[SimulationResult]] = [[] for _ in chains]
+
+    def serial() -> list[SimulationResult]:
+        for position, chain in enumerate(chains):
+            state: bytes | None = None
+            for index in range(len(chain.windows)):
+                result, state = _run_exact_shard(chain.payload(index, state))
+                parts[position].append(result)
+        return [SimulationResult.merge(chunk) for chunk in parts]
+
+    use_pool = pool is not None
+    if not use_pool:
+        limit = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        if limit <= 1 or len(chains) <= 1:
+            return serial()
+
+    def drive(submit) -> list[SimulationResult]:
+        cursor = [0] * len(chains)
+        pending: dict[Future, int] = {}
+
+        def launch(position: int, state: bytes | None) -> None:
+            payload = chains[position].payload(cursor[position], state)
+            pending[submit(payload)] = position
+
+        for position in range(len(chains)):
+            launch(position, None)
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                position = pending.pop(future)
+                result, state = future.result()
+                parts[position].append(result)
+                cursor[position] += 1
+                if cursor[position] < len(chains[position].windows):
+                    launch(position, state)
+        return [SimulationResult.merge(chunk) for chunk in parts]
+
+    if use_pool:
+        try:
+            return drive(pool.submit)
+        except (BrokenExecutor, KeyboardInterrupt, SystemExit):
+            pool.close(cancel=True)
+            raise
+    executor = ProcessPoolExecutor(max_workers=min(limit, len(chains)))
+    try:
+        return drive(lambda payload: executor.submit(_run_exact_shard, payload))
+    except BaseException:
+        executor.shutdown(wait=True, cancel_futures=True)
+        raise
+    finally:
+        executor.shutdown()
+
+
 class WorkerPool:
     """A long-lived process pool with warm per-worker predictor caches.
 
@@ -354,6 +502,7 @@ class WorkerPool:
         self.batches = 0
         self.tasks_executed = 0
         self.warm_hits = 0
+        self.exact_shards = 0
 
     @property
     def closed(self) -> bool:
@@ -393,6 +542,17 @@ class WorkerPool:
         self.warm_hits += sum(1 for _, warm in outcomes if warm)
         return [result for result, _ in outcomes]
 
+    def submit(self, payload: tuple) -> Future:
+        """Dispatch one exact-mode shard job (see :func:`run_exact_chains`).
+
+        Exact shards are excluded from the warm-hit accounting: only the
+        first shard of a chain touches the worker's predictor cache, the
+        rest resume from pickled state.
+        """
+        future = self._ensure().submit(_run_exact_shard, payload)
+        self.exact_shards += 1
+        return future
+
     def stats(self) -> dict:
         """Worker count, lifecycle state and warm-reuse counters."""
         tasks = self.tasks_executed
@@ -404,6 +564,7 @@ class WorkerPool:
             "tasks_executed": tasks,
             "warm_hits": self.warm_hits,
             "warm_hit_rate": self.warm_hits / tasks if tasks else 0.0,
+            "exact_shards": self.exact_shards,
         }
 
     def close(self, cancel: bool = False) -> None:

@@ -22,7 +22,7 @@ The interface below makes those scenarios expressible for every predictor:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.storage import StorageReport
 

@@ -17,7 +17,7 @@ In this reproduction GEHL plays three roles:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.bits import mask
 from repro.common.counters import SaturatingCounter, SignedCounterTable

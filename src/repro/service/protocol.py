@@ -20,7 +20,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-from repro.api.request import RunRequest
+from repro.api.request import RunRequest, validate_shard_coverage
 from repro.predictors.registry import available
 
 __all__ = [
@@ -149,4 +149,10 @@ def parse_submission(payload: Any) -> tuple[list[RunRequest], bool]:
                 f"registered kinds: {available()}"
             )
         requests.append(request)
+    try:
+        # Duplicate or overlapping shard submissions in one batch would
+        # merge into a silently wrong sum — reject them at the door.
+        validate_shard_coverage(requests)
+    except ValueError as error:
+        raise ProtocolError(str(error)) from None
     return requests, batch

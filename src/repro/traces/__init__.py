@@ -29,6 +29,15 @@ from repro.traces.refs import (
     resolve_trace_ref,
     trace_ref_catalogue,
 )
+from repro.traces.sharding import (
+    DEFAULT_WARMUP,
+    ShardingPolicy,
+    ShardWindow,
+    auto_shard_count,
+    plan_shards,
+    shard_refs,
+    shard_trace,
+)
 from repro.traces.suite import (
     CATEGORIES,
     HARD_TRACES,
@@ -55,23 +64,30 @@ __all__ = [
     "BranchRecord",
     "BranchSite",
     "CATEGORIES",
+    "DEFAULT_WARMUP",
     "GeneratorContext",
     "GloballyCorrelatedBranch",
     "HARD_TRACES",
     "LocalPatternBranch",
     "LoopBranch",
     "PointerChaseBranch",
+    "ShardWindow",
+    "ShardingPolicy",
     "SuiteSpec",
     "Trace",
     "TraceRef",
     "WorkloadSpec",
+    "auto_shard_count",
     "generate_suite",
     "generate_trace",
     "generate_workload",
     "load_trace",
     "parse_trace_ref",
+    "plan_shards",
     "resolve_trace_ref",
     "save_trace",
+    "shard_refs",
+    "shard_trace",
     "trace_names",
     "trace_ref_catalogue",
 ]

@@ -21,6 +21,16 @@ deterministic trace(s) it names:
     the behaviour classes in :mod:`repro.traces.synthetic`; see
     :data:`GENERATORS`.
 
+Any reference that names exactly **one** trace may additionally carry a
+*shard fragment* — ``#shard=i/n[&warmup=K]`` — selecting the ``i``-th of
+``n`` contiguous measured windows of that trace, preceded by a warmup
+prefix of up to ``K`` branches (default
+:data:`~repro.traces.sharding.DEFAULT_WARMUP`) that the engine replays
+without accounting.  ``suite:INT01#shard=0/4&warmup=2000`` is therefore a
+first-class trace reference: it travels through run requests and the HTTP
+service, and :func:`resolve_trace_ref` cuts the deterministic slice (see
+:mod:`repro.traces.sharding` for the planner).
+
 Resolution is deterministic: the same reference always yields bit-identical
 traces, which is what lets references key result caches and travel through
 JSON run requests.
@@ -31,6 +41,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.traces.sharding import DEFAULT_WARMUP, plan_shards, shard_trace
 from repro.traces.suite import CATEGORIES, HARD_TRACES, generate_trace
 from repro.traces.synthetic import (
     BiasedBranch,
@@ -173,12 +184,16 @@ class TraceRef:
     ``params`` holds every parameter with defaults filled in;
     ``canonical`` is the normalised string form (defaults dropped, keys
     sorted), which doubles as the trace name for synthetic references.
+    ``shard`` is the ``(index, count)`` of the shard fragment (``None``
+    for whole-trace references) and ``shard_warmup`` its warmup depth.
     """
 
     scheme: str
     name: str
     params: tuple[tuple[str, int | float], ...]
     canonical: str
+    shard: tuple[int, int] | None = None
+    shard_warmup: int = 0
 
     def param(self, key: str) -> int | float:
         """Return one resolved parameter value."""
@@ -220,6 +235,51 @@ def _parse_params(query: str, schema: dict, ref: str) -> dict:
     return values
 
 
+def _parse_shard_fragment(fragment: str, ref: str) -> tuple[tuple[int, int], int]:
+    """Parse ``shard=i/n[&warmup=K]`` into ``((i, n), warmup)``, or raise."""
+    shard: tuple[int, int] | None = None
+    warmup = DEFAULT_WARMUP
+    seen: set[str] = set()
+    for part in fragment.split("&") if fragment else []:
+        key, sep, raw = part.partition("=")
+        if not sep or not key or not raw:
+            raise ValueError(f"trace ref {ref!r}: malformed shard parameter {part!r}")
+        if key in seen:
+            raise ValueError(f"trace ref {ref!r}: duplicate shard parameter {key!r}")
+        seen.add(key)
+        if key == "shard":
+            index_text, slash, count_text = raw.partition("/")
+            try:
+                index, count = int(index_text), int(count_text)
+            except ValueError:
+                slash = ""
+            if not slash:
+                raise ValueError(
+                    f"trace ref {ref!r}: shard must be 'i/n' (e.g. #shard=0/4), got {raw!r}"
+                )
+            if count < 1 or not 0 <= index < count:
+                raise ValueError(
+                    f"trace ref {ref!r}: shard index must satisfy 0 <= i < n, got {raw!r}"
+                )
+            shard = (index, count)
+        elif key == "warmup":
+            try:
+                warmup = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"trace ref {ref!r}: warmup must be an integer, got {raw!r}"
+                ) from None
+            if warmup < 0:
+                raise ValueError(f"trace ref {ref!r}: warmup must be non-negative, got {warmup}")
+        else:
+            raise ValueError(
+                f"trace ref {ref!r}: unknown shard parameter {key!r}; valid: shard, warmup"
+            )
+    if shard is None:
+        raise ValueError(f"trace ref {ref!r}: shard fragment needs shard=i/n (e.g. #shard=0/4)")
+    return shard, warmup
+
+
 def parse_trace_ref(ref: str) -> TraceRef:
     """Parse and validate a trace reference string.
 
@@ -229,7 +289,14 @@ def parse_trace_ref(ref: str) -> TraceRef:
     """
     if not isinstance(ref, str) or not ref:
         raise ValueError(f"trace ref must be a non-empty string, got {ref!r}")
-    scheme, sep, rest = ref.partition(":")
+    base, fragment_sep, fragment = ref.partition("#")
+    shard: tuple[int, int] | None = None
+    shard_warmup = 0
+    if fragment_sep:
+        if not base:
+            raise ValueError(f"trace ref {ref!r} names no trace before the shard fragment")
+        shard, shard_warmup = _parse_shard_fragment(fragment, ref)
+    scheme, sep, rest = base.partition(":")
     if not sep or scheme not in TRACE_REF_SCHEMES:
         raise ValueError(
             f"trace ref {ref!r} must start with one of "
@@ -277,11 +344,22 @@ def parse_trace_ref(ref: str) -> TraceRef:
         canonical += "?" + "&".join(
             f"{key}={_format_value(non_default[key])}" for key in sorted(non_default)
         )
+    if shard is not None:
+        if name == "all" or (scheme == "suite" and name in CATEGORIES):
+            raise ValueError(
+                f"trace ref {ref!r}: only single-trace references can be sharded "
+                f"({base!r} names several traces)"
+            )
+        canonical += f"#shard={shard[0]}/{shard[1]}"
+        if shard_warmup != DEFAULT_WARMUP:
+            canonical += f"&warmup={shard_warmup}"
     return TraceRef(
         scheme=scheme,
         name=name,
         params=tuple(sorted(params.items())),
         canonical=canonical,
+        shard=shard,
+        shard_warmup=shard_warmup if shard is not None else 0,
     )
 
 
@@ -299,27 +377,40 @@ def _suite_names(ref: TraceRef) -> list[str]:
 
 
 def resolve_trace_ref(ref: str | TraceRef) -> list[Trace]:
-    """Resolve a trace reference to the (deterministic) traces it names."""
+    """Resolve a trace reference to the (deterministic) traces it names.
+
+    A shard fragment resolves the *whole* base trace first, then cuts the
+    warmup+measure slice the fragment selects, so every shard of a plan
+    sees exactly the records an unsharded run would.
+    """
     parsed = parse_trace_ref(ref) if isinstance(ref, str) else ref
     if parsed.scheme in ("suite", "hard"):
         branches = int(parsed.param("branches"))
         seed = int(parsed.param("seed"))
-        return [
+        traces = [
             generate_trace(name, branches_per_trace=branches, seed=seed)
             for name in _suite_names(parsed)
         ]
-    _, builder, _ = GENERATORS[parsed.name]
-    params = dict(parsed.params)
-    spec = builder(params)
-    return [
-        generate_workload(
-            spec,
-            branch_count=int(params["length"]),
-            seed=int(params["seed"]),
-            name=parsed.canonical,
-            category="SYNTHETIC",
-        )
-    ]
+    else:
+        _, builder, _ = GENERATORS[parsed.name]
+        params = dict(parsed.params)
+        spec = builder(params)
+        base_name, _, _ = parsed.canonical.partition("#")
+        traces = [
+            generate_workload(
+                spec,
+                branch_count=int(params["length"]),
+                seed=int(params["seed"]),
+                name=base_name,
+                category="SYNTHETIC",
+            )
+        ]
+    if parsed.shard is None:
+        return traces
+    index, count = parsed.shard
+    (trace,) = traces  # parse_trace_ref guarantees single-trace refs here
+    window = plan_shards(len(trace), count, parsed.shard_warmup)[index]
+    return [shard_trace(trace, window)]
 
 
 def trace_ref_catalogue() -> list[tuple[str, str]]:
@@ -333,6 +424,10 @@ def trace_ref_catalogue() -> list[tuple[str, str]]:
         ("suite:<NAME>", "one named trace, e.g. suite:INT01"),
         ("hard:all", "the seven Section 2.2 high-misprediction traces"),
         ("hard:<NAME>", f"one of: {', '.join(sorted(HARD_TRACES))}"),
+        (
+            "<single-trace ref>#shard=i/n[&warmup=K]",
+            f"shard i of n of one trace, warmed up over K branches (default {DEFAULT_WARMUP})",
+        ),
     ]
     for name, (schema, _, description) in sorted(GENERATORS.items()):
         params = ["length=N", "seed=S"] + [

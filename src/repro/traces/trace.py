@@ -60,12 +60,29 @@ class Trace:
     hard:
         Marks the trace as one of the "high misprediction rate" traces the
         paper singles out in Section 2.2.
+    warmup_count:
+        Number of leading records that are *warmup only*: the engine
+        replays them through the predictor (predict + history + update)
+        without accounting, so a shard cut from the middle of a longer
+        trace starts its measured window from warmed predictor state.
+        Zero for ordinary whole traces.
+    window:
+        ``(start, stop, total)`` — the measured window this trace covers
+        within its source trace, in source branch indices, with the
+        source's total length.  ``None`` for whole traces.  Set by
+        :func:`repro.traces.sharding.shard_trace`.
+    source_name:
+        Name of the unsharded source trace (empty for whole traces);
+        results carry it so shards of one trace can be merged back.
     """
 
     name: str
     category: str = ""
     records: list[BranchRecord] = field(default_factory=list)
     hard: bool = False
+    warmup_count: int = 0
+    window: tuple[int, int, int] | None = None
+    source_name: str = ""
 
     def __len__(self) -> int:
         return len(self.records)

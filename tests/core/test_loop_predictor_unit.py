@@ -13,9 +13,6 @@ def train_loop(predictor: LoopPredictor, pc: int, trip_count: int, executions: i
         for iteration in range(trip_count + 1):
             taken = iteration < trip_count
             prediction = predictor.predict(pc)
-            main_correct = not (prediction.hit and prediction.confident) or (
-                prediction.taken == taken
-            )
             predictor.update(pc, taken, prediction, main_prediction_correct=False
                              if iteration == trip_count and not prediction.confident else True)
 

@@ -1,6 +1,5 @@
 """Behavioural tests for the TAGE predictor itself."""
 
-import pytest
 
 from repro.core.config import TAGEConfig
 from repro.core.tage import TAGEPredictor, make_reference_tage

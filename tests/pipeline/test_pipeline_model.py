@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.tage import make_reference_tage
-from repro.hardware.access_counter import AccessProfile
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.metrics import SimulationResult, SuiteResult
 from repro.pipeline.scenarios import UpdateScenario

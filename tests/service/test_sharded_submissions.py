@@ -1,0 +1,73 @@
+"""Sharded requests through the service: protocol validation and execution."""
+
+import json
+
+import pytest
+
+from repro.api import Runner, RunnerConfig, RunRequest, suite_payload
+from repro.service import SimulationService
+from repro.service.protocol import ProtocolError, parse_submission
+
+REF = "synthetic:mixed?length=2000&seed=9"
+
+
+def _payload(trace, **extra):
+    payload = RunRequest("gshare", trace).to_dict()
+    payload.update(extra)
+    return payload
+
+
+class TestParseSubmission:
+    def test_shard_refs_are_accepted(self):
+        requests, batch = parse_submission(
+            [_payload(f"{REF}#shard=0/2"), _payload(f"{REF}#shard=1/2")]
+        )
+        assert batch and [r.trace for r in requests] == [
+            f"{REF}#shard=0/2",
+            f"{REF}#shard=1/2",
+        ]
+
+    def test_sharding_policies_are_accepted(self):
+        (request,), _ = parse_submission(
+            _payload(REF, sharding={"shards": 2, "warmup": 50, "mode": "exact"})
+        )
+        assert request.sharding is not None and request.sharding.mode == "exact"
+
+    def test_duplicate_shard_batch_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="duplicate shard submission"):
+            parse_submission([_payload(f"{REF}#shard=0/2"), _payload(f"{REF}#shard=0/2")])
+
+    def test_inconsistent_plan_batch_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="inconsistent shard plans"):
+            parse_submission([_payload(f"{REF}#shard=0/2"), _payload(f"{REF}#shard=1/3")])
+
+    def test_malformed_fragment_is_a_protocol_error(self):
+        payload = _payload(REF)
+        payload["trace"] = f"{REF}#shard=9/2"  # out-of-range index, raw wire payload
+        with pytest.raises(ProtocolError, match="0 <= i < n"):
+            parse_submission(payload)
+
+
+class TestShardedExecution:
+    def test_sharded_job_matches_the_direct_run(self):
+        """A request with a sharding policy returns exactly what a direct
+        ``Runner`` run of the same request produces."""
+        request = RunRequest(
+            "gshare", REF, sharding={"shards": 2, "warmup": 0, "mode": "exact"}
+        )
+        with SimulationService(runner=Runner(RunnerConfig(workers=1))) as service:
+            job = service.submit([request], batch=False)
+            document = service.wait(job.id, timeout=30)
+        assert document["status"] == "done"
+        with Runner(RunnerConfig(workers=1)) as runner:
+            direct = json.loads(json.dumps(suite_payload(request, runner.run(request))))
+        assert json.loads(json.dumps(document["results"][0])) == direct
+
+    def test_shard_window_jobs_complete(self):
+        request = RunRequest("gshare", f"{REF}#shard=1/2&warmup=100")
+        with SimulationService(runner=Runner(RunnerConfig(workers=1))) as service:
+            job = service.submit([request], batch=False)
+            document = service.wait(job.id, timeout=30)
+        assert document["status"] == "done"
+        (payload,) = document["results"]
+        assert payload["branches"] < 2000
