@@ -1,0 +1,86 @@
+"""Backend throughput: numpy batch kernels vs the per-branch interp loop.
+
+A fig9-style configuration sweep (table sizes across the gshare and
+bimodal families) over one trace — exactly the workload the ``numpy``
+backend batches: decode the trace once, then run every variant off the
+same arrays.  Parity is asserted bit for bit before any timing claim;
+the measured speedup is recorded in the benchmark JSON ``extra_info``
+(and so lands in the CI ``BENCH_*.json`` artifacts).
+
+The sweep uses at least :data:`MIN_BRANCHES` branches however small
+``REPRO_BENCH_BRANCHES`` is: sub-millisecond interp times would make the
+speedup ratio noise instead of a measurement.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import BENCH_BRANCHES, BENCH_PIPELINE, BENCH_SEED, run_once
+from repro.backends import get_backend
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.engine import SimulationEngine
+from repro.pipeline.scenarios import UpdateScenario
+from repro.predictors.registry import PredictorSpec
+from repro.traces.suite import generate_trace
+
+MIN_BRANCHES = 4_000
+
+#: The fig9-style axis: power-of-two size sweeps of both table families.
+SWEEP_SPECS = [
+    PredictorSpec("gshare", {"log2_entries": n}) for n in range(8, 14)
+] + [PredictorSpec("bimodal", {"entries": 1 << n}) for n in range(8, 14)]
+
+
+def _sweep_trace():
+    return generate_trace(
+        "INT01", branches_per_trace=max(BENCH_BRANCHES, MIN_BRANCHES), seed=BENCH_SEED
+    )
+
+
+def _interp_sweep(trace, scenario, config):
+    return [
+        SimulationEngine(spec.build(), scenario, config).run(trace) for spec in SWEEP_SPECS
+    ]
+
+
+def _record(benchmark, trace, scenario, config, minimum_speedup):
+    backend = get_backend("numpy")
+    trace.arrays()  # decode outside both timings: shared, one-off work
+
+    start = time.perf_counter()
+    interp_results = _interp_sweep(trace, scenario, config)
+    interp_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = backend.run_group(SWEEP_SPECS, trace, scenario, config)
+    numpy_seconds = time.perf_counter() - start
+    assert batched == interp_results  # parity before any speed claim
+
+    speedup = interp_seconds / numpy_seconds
+    benchmark.extra_info["configs"] = len(SWEEP_SPECS)
+    benchmark.extra_info["branches"] = len(trace)
+    benchmark.extra_info["interp_seconds"] = round(interp_seconds, 4)
+    benchmark.extra_info["numpy_seconds"] = round(numpy_seconds, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(
+        f"\n{scenario.label} sweep of {len(SWEEP_SPECS)} configs x {len(trace)} branches: "
+        f"interp {interp_seconds:.3f}s, numpy {numpy_seconds:.3f}s, {speedup:.1f}x"
+    )
+    run_once(benchmark, lambda: backend.run_group(SWEEP_SPECS, trace, scenario, config))
+    assert speedup >= minimum_speedup, (
+        f"numpy backend only {speedup:.2f}x over the per-branch loop "
+        f"(expected >= {minimum_speedup}x on a {len(SWEEP_SPECS)}-config sweep)"
+    )
+
+
+def test_bench_backend_immediate_sweep(benchmark):
+    """Scenario [I]: the segmented-scan kernel vs N interp passes (>= 3x)."""
+    _record(benchmark, _sweep_trace(), UpdateScenario.IMMEDIATE, PipelineConfig(),
+            minimum_speedup=3.0)
+
+
+def test_bench_backend_delayed_lockstep(benchmark):
+    """Scenario [C]: the lockstep kernel batches the sweep into one pass."""
+    _record(benchmark, _sweep_trace(), UpdateScenario.REREAD_ON_MISPREDICTION,
+            BENCH_PIPELINE, minimum_speedup=2.0)

@@ -28,6 +28,11 @@ import os
 
 import pytest
 
+# The result cache is on by default; a bench serving yesterday's pickled
+# results would time deserialization, not simulation.  Opt out for the
+# whole harness unless the caller explicitly points at a cache.
+os.environ.setdefault("REPRO_SUITE_CACHE", "off")
+
 from repro.api import Runner, RunnerConfig
 from repro.api.config import parse_workers
 from repro.pipeline.config import PipelineConfig

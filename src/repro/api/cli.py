@@ -8,12 +8,13 @@ references and the named experiments)::
     repro run tage-lsc --trace hard:MM05 --scenario A --workers 4 --json
     repro run tage --trace "suite:INT01?branches=400000" --shards 4 --workers 4
     repro run --request saved-request.json
-    repro suite --predictor tage --predictor tage-lsc --trace suite:INT --scenario A
+    repro suite --predictor gshare --trace suite:INT --backend numpy
     repro experiment fig10 --branches 3000
     repro list predictors|traces|experiments
     repro cache stats|clear|prune
     repro serve --port 8321 --workers auto
     repro submit tage --url http://127.0.0.1:8321 --trace hard:MM05 --json
+    repro cancel job-3-0a1b2c3d --url http://127.0.0.1:8321
 
 Defaults for workers and caching come from the ``REPRO_SUITE_*``
 environment (one parser: :meth:`~repro.api.config.RunnerConfig.from_env`);
@@ -31,7 +32,12 @@ import os
 import sys
 from typing import Any, Sequence
 
-from repro.api.config import RunnerConfig, parse_cache_max_mb, parse_workers
+from repro.api.config import (
+    RunnerConfig,
+    parse_backend,
+    parse_cache_max_mb,
+    parse_workers,
+)
 from repro.api.experiments import available_experiments, find_experiment
 from repro.api.request import RunRequest
 from repro.api.results import suite_payload
@@ -68,6 +74,13 @@ def _parse_cache_max_mb(value: str) -> float:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def _parse_backend(value: str) -> str:
+    try:
+        return parse_backend(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def _add_runner_options(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("execution")
     group.add_argument("--workers", type=_parse_workers, default=_UNSET, metavar="N",
@@ -80,6 +93,10 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--cache-max-mb", type=_parse_cache_max_mb, default=None, metavar="MB",
                        help="size bound for the result cache (LRU eviction); "
                             "default: REPRO_SUITE_CACHE_MAX_MB")
+    group.add_argument("--backend", type=_parse_backend, default=None, metavar="NAME",
+                       help="execution backend (interp or numpy; bit-identical "
+                            "results, numpy batches supported predictor sweeps); "
+                            "overrides REPRO_SUITE_BACKEND and request backends")
 
 
 def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
@@ -129,6 +146,10 @@ def _runner_config(args: argparse.Namespace) -> RunnerConfig:
         config = dataclasses.replace(config, cache_version=args.cache_version)
     if getattr(args, "cache_max_mb", None) is not None:
         config = dataclasses.replace(config, cache_max_mb=args.cache_max_mb)
+    if getattr(args, "backend", None) is not None:
+        # Forced: an explicit flag wins over request-level backends too
+        # (the documented env < request < CLI precedence).
+        config = dataclasses.replace(config, backend=args.backend, backend_forced=True)
     return config
 
 
@@ -181,6 +202,9 @@ def _build_requests(args: argparse.Namespace, context: str) -> list[RunRequest]:
     if args.request:
         # The file IS the request; silently overriding parts of it would
         # let the user attribute one run's numbers to another's settings.
+        # (`run --request --backend` stays legal: there --backend is an
+        # execution option of the local runner, like --workers; `submit`
+        # has no local runner, so its --backend edits the request.)
         conflicting = [
             flag for flag, given in [
                 ("--config", args.config is not None),
@@ -192,6 +216,7 @@ def _build_requests(args: argparse.Namespace, context: str) -> list[RunRequest]:
                 ("--shards", args.shards is not None),
                 ("--warmup", args.warmup is not None),
                 ("--shard-mode", args.shard_mode is not None),
+                ("--backend", context == "submit" and args.backend is not None),
             ] if given
         ]
         if conflicting:
@@ -215,7 +240,8 @@ def _build_requests(args: argparse.Namespace, context: str) -> list[RunRequest]:
     pipeline = _pipeline(args)
     scenario = args.scenario if args.scenario is not None else "I"
     sharding = _sharding_policy(args)
-    return [RunRequest(spec, ref, scenario, pipeline, sharding) for ref in refs]
+    backend = args.backend if context == "submit" else None
+    return [RunRequest(spec, ref, scenario, pipeline, sharding, backend) for ref in refs]
 
 
 def _print_result_payloads(payloads: list[dict]) -> None:
@@ -416,6 +442,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"repro: submit: job {document['id']} failed: {document['error']}",
               file=sys.stderr)
         return 1
+    if status == "cancelled":
+        # Another client DELETEd the job while we were waiting on it:
+        # terminal, but there are no results to print.
+        print(f"repro: submit: job {document['id']} was cancelled", file=sys.stderr)
+        return 1
     payloads = document["results"]
     if args.json:
         # Same shape as `repro run --json`: one object for one request.
@@ -425,6 +456,21 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             print(f"{payload['trace']} [{payload['scenario']}]: {payload['predictor']}, "
                   f"{payload['mispredictions']}/{payload['branches']} mispredictions, "
                   f"MPKI {payload['mpki']:.2f}, MPPKI {payload['mppki']:.1f}")
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url)
+    try:
+        document = client.cancel(args.job_id)
+    except ServiceClientError as error:
+        raise CLIError(f"cancel: {error}") from None
+    if args.json:
+        _print_json(document)
+    else:
+        print(f"job {document['id']}: {document['status']}")
     return 0
 
 
@@ -566,10 +612,25 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="submit and print the job document without waiting")
     submit.add_argument("--timeout", type=float, default=120.0, metavar="S",
                         help="seconds to wait for completion (default 120)")
+    submit.add_argument("--backend", type=_parse_backend, default=None, metavar="NAME",
+                        help="execution backend requested from the service "
+                             "(rides the submitted request)")
     submit.add_argument("--json", action="store_true", help="machine-readable output")
     _add_pipeline_options(submit)
     _add_shard_options(submit)
     submit.set_defaults(func=_cmd_submit)
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel a queued job on a repro service",
+        description="DELETE /v1/runs/<id>: queued jobs cancel; running or "
+                    "finished jobs answer 409 (a running batch executes to "
+                    "completion).",
+    )
+    cancel.add_argument("job_id", help="job id returned by 'repro submit'")
+    cancel.add_argument("--url", default="http://127.0.0.1:8321", metavar="URL",
+                        help="service base URL (default http://127.0.0.1:8321)")
+    cancel.add_argument("--json", action="store_true", help="machine-readable output")
+    cancel.set_defaults(func=_cmd_cancel)
 
     return parser
 

@@ -12,19 +12,28 @@ Environment variables (read by :meth:`RunnerConfig.from_env`):
     Worker processes for suite execution.  A positive integer, or
     ``auto`` for ``os.cpu_count()``.  Default 1 (serial).
 ``REPRO_SUITE_CACHE``
-    Directory for the on-disk result cache; unset/empty disables caching.
+    Directory for the on-disk result cache.  Unset/empty resolves the
+    platform default (:func:`default_cache_dir` — ``$XDG_CACHE_HOME`` or
+    ``~/.cache``, under ``repro-suite``): caching is **on by default**,
+    made safe by the default size bound below.  ``off``/``none``/``0``
+    disables caching entirely.
 ``REPRO_SUITE_CACHE_VERSION``
     Operator-controlled label mixed into every cache key, so a shared
     cache directory can be invalidated wholesale without deleting it.
 ``REPRO_SUITE_CACHE_MAX_MB``
     Size bound (megabytes) for the on-disk cache; least-recently-used
-    entries are evicted on write to stay under it.  Unset/empty means
-    unbounded.
+    entries are evicted on write to stay under it.  Unset/empty keeps
+    the default (:data:`DEFAULT_CACHE_MAX_MB`); ``unbounded`` (or
+    ``off``/``none``/``0``) removes the bound.
 ``REPRO_SUITE_AUTOSHARD``
     Branch-count threshold above which the runner automatically shards a
     resolved trace (bounded-warmup mode, deterministic length-derived
     shard count).  ``off`` disables auto-sharding; unset keeps the
     default (:data:`DEFAULT_AUTO_SHARD_BRANCHES`).
+``REPRO_SUITE_BACKEND``
+    Execution backend (:mod:`repro.backends`): ``interp`` (default) or
+    ``numpy``.  A per-request ``backend`` overrides this; the CLI
+    ``--backend`` flag overrides both (env < request < CLI).
 """
 
 from __future__ import annotations
@@ -37,13 +46,17 @@ from repro.pipeline.parallel import SuiteCache
 
 __all__ = [
     "DEFAULT_AUTO_SHARD_BRANCHES",
+    "DEFAULT_CACHE_MAX_MB",
     "ENV_AUTOSHARD",
+    "ENV_BACKEND",
     "ENV_CACHE",
     "ENV_CACHE_MAX_MB",
     "ENV_CACHE_VERSION",
     "ENV_WORKERS",
     "RunnerConfig",
+    "default_cache_dir",
     "parse_auto_shard",
+    "parse_backend",
     "parse_cache_max_mb",
     "parse_workers",
 ]
@@ -53,11 +66,38 @@ ENV_CACHE = "REPRO_SUITE_CACHE"
 ENV_CACHE_VERSION = "REPRO_SUITE_CACHE_VERSION"
 ENV_CACHE_MAX_MB = "REPRO_SUITE_CACHE_MAX_MB"
 ENV_AUTOSHARD = "REPRO_SUITE_AUTOSHARD"
+ENV_BACKEND = "REPRO_SUITE_BACKEND"
 
 #: Traces at least this many branches long are sharded automatically.
 #: 200k branches ≈ one CBP-scale trace slice; below that the warmup
 #: replay overhead outweighs the fan-out.
 DEFAULT_AUTO_SHARD_BRANCHES = 200_000
+
+#: Default size bound for the default-on result cache.  Generous enough
+#: for tens of thousands of pickled results, small enough that a shared
+#: workstation never notices it.
+DEFAULT_CACHE_MAX_MB = 512.0
+
+#: ``REPRO_SUITE_CACHE`` values that disable caching outright.
+_CACHE_OFF_TOKENS = frozenset({"off", "none", "0", "disabled"})
+
+#: ``REPRO_SUITE_CACHE_MAX_MB`` values that remove the size bound.
+_UNBOUNDED_TOKENS = frozenset({"unbounded", "off", "none", "0"})
+
+
+def default_cache_dir(environ: Mapping[str, str] | None = None) -> str:
+    """The platform default result-cache directory (platformdirs-style).
+
+    ``$XDG_CACHE_HOME/repro-suite`` when set, else ``~/.cache/repro-suite``
+    (with ``HOME`` taken from ``environ`` when provided, so tests and
+    hermetic builds can redirect it without touching the process env).
+    """
+    env = os.environ if environ is None else environ
+    base = (env.get("XDG_CACHE_HOME") or "").strip()
+    if not base:
+        home = (env.get("HOME") or "").strip() or os.path.expanduser("~")
+        base = os.path.join(home, ".cache")
+    return os.path.join(base, "repro-suite")
 
 
 def parse_cache_max_mb(text: str, context: str = "cache size") -> float:
@@ -85,6 +125,18 @@ def parse_auto_shard(text: str, context: str = "auto-shard threshold") -> int | 
     if threshold < 1:
         raise ValueError(f"{context} must be positive, got {threshold}")
     return threshold
+
+
+def parse_backend(text: str, context: str = "backend") -> str:
+    """Parse an execution-backend name against the registered backends."""
+    from repro.backends import available_backends
+
+    value = text.strip().lower()
+    if value not in available_backends():
+        raise ValueError(
+            f"{context} must be one of {available_backends()}, got {text!r}"
+        )
+    return value
 
 
 def parse_workers(text: str, context: str = "workers") -> int | None:
@@ -133,6 +185,18 @@ class RunnerConfig:
         executing machine); ``None`` disables auto-sharding.  An explicit
         per-request :class:`~repro.traces.sharding.ShardingPolicy`
         always wins over this default.
+    backend:
+        Execution backend name (:mod:`repro.backends`); ``None`` means
+        the default interpreter.  Results are bit-identical whichever
+        backend runs them — this is purely a throughput knob.
+    backend_forced:
+        When true the config's backend overrides even per-request
+        ``backend`` fields — set by the CLI ``--backend`` flag, giving
+        the documented env < request < CLI precedence.
+
+    Direct construction keeps caching opt-in (``cache_dir=None``);
+    :meth:`from_env` is where the default-on cache directory and size
+    bound are resolved.
     """
 
     workers: int | None = 1
@@ -140,8 +204,14 @@ class RunnerConfig:
     cache_version: str = ""
     cache_max_mb: float | None = None
     auto_shard_branches: int | None = DEFAULT_AUTO_SHARD_BRANCHES
+    backend: str | None = None
+    backend_forced: bool = False
 
     def __post_init__(self) -> None:
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise ValueError(f"backend must be a name or None, got {self.backend!r}")
+        if self.backend is not None:
+            object.__setattr__(self, "backend", parse_backend(self.backend))
         if self.workers is not None:
             if not isinstance(self.workers, int) or isinstance(self.workers, bool):
                 raise ValueError(f"workers must be a positive int or None, got {self.workers!r}")
@@ -184,20 +254,35 @@ class RunnerConfig:
         env = os.environ if environ is None else environ
         raw = (env.get(ENV_WORKERS) or "").strip()
         workers = parse_workers(raw, context=ENV_WORKERS) if raw else 1
+        raw_cache = (env.get(ENV_CACHE) or "").strip()
+        if not raw_cache:
+            cache_dir = default_cache_dir(env)  # default-on, size-bounded below
+        elif raw_cache.lower() in _CACHE_OFF_TOKENS:
+            cache_dir = None
+        else:
+            cache_dir = raw_cache
         raw_max = (env.get(ENV_CACHE_MAX_MB) or "").strip()
-        cache_max_mb = parse_cache_max_mb(raw_max, context=ENV_CACHE_MAX_MB) if raw_max else None
+        if not raw_max:
+            cache_max_mb = DEFAULT_CACHE_MAX_MB
+        elif raw_max.lower() in _UNBOUNDED_TOKENS:
+            cache_max_mb = None
+        else:
+            cache_max_mb = parse_cache_max_mb(raw_max, context=ENV_CACHE_MAX_MB)
         raw_shard = (env.get(ENV_AUTOSHARD) or "").strip()
         auto_shard = (
             parse_auto_shard(raw_shard, context=ENV_AUTOSHARD)
             if raw_shard
             else DEFAULT_AUTO_SHARD_BRANCHES
         )
+        raw_backend = (env.get(ENV_BACKEND) or "").strip()
+        backend = parse_backend(raw_backend, context=ENV_BACKEND) if raw_backend else None
         return cls(
             workers=workers,
-            cache_dir=(env.get(ENV_CACHE) or "").strip() or None,
+            cache_dir=cache_dir,
             cache_version=(env.get(ENV_CACHE_VERSION) or "").strip(),
             cache_max_mb=cache_max_mb,
             auto_shard_branches=auto_shard,
+            backend=backend,
         )
 
     @property

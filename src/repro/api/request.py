@@ -40,7 +40,7 @@ __all__ = [
 #: Version of the ``to_dict``/``from_dict`` payload layout.
 REQUEST_SCHEMA_VERSION = 1
 
-_PAYLOAD_KEYS = {"version", "predictor", "trace", "scenario", "pipeline", "sharding"}
+_PAYLOAD_KEYS = {"version", "predictor", "trace", "scenario", "pipeline", "sharding", "backend"}
 
 
 def coerce_scenario(value: Any) -> UpdateScenario:
@@ -82,6 +82,12 @@ class RunRequest:
         warmup+measure shards.  Mutually exclusive with a ``#shard=``
         fragment in ``trace`` — a reference that already names one shard
         must not be sharded again.
+    backend:
+        Optional execution-backend name (:mod:`repro.backends`,
+        e.g. ``"numpy"``).  Purely a throughput hint: results are
+        bit-identical across backends and unsupported combinations fall
+        back to the interpreter.  Overrides the runner's environment
+        default; the CLI ``--backend`` flag overrides both.
     """
 
     predictor: PredictorSpec
@@ -89,6 +95,7 @@ class RunRequest:
     scenario: UpdateScenario = UpdateScenario.IMMEDIATE
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     sharding: ShardingPolicy | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         predictor = self.predictor
@@ -133,6 +140,14 @@ class RunRequest:
                 "a sharding policy cannot shard it again"
             )
         object.__setattr__(self, "sharding", sharding)
+        if self.backend is not None:
+            if not isinstance(self.backend, str):
+                raise ValueError(
+                    f"backend must be a backend name or None, got {type(self.backend).__name__}"
+                )
+            from repro.api.config import parse_backend
+
+            object.__setattr__(self, "backend", parse_backend(self.backend))
 
     def resolve_traces(self) -> list[Trace]:
         """Resolve the trace reference to the deterministic traces it names."""
@@ -155,6 +170,8 @@ class RunRequest:
         }
         if self.sharding is not None:
             payload["sharding"] = self.sharding.to_dict()
+        if self.backend is not None:
+            payload["backend"] = self.backend
         try:
             if json.loads(json.dumps(payload)) != payload:
                 raise TypeError("payload does not survive a JSON round trip")
@@ -204,6 +221,7 @@ class RunRequest:
             scenario=payload.get("scenario", UpdateScenario.IMMEDIATE),
             pipeline=payload.get("pipeline") or PipelineConfig(),
             sharding=payload.get("sharding"),
+            backend=payload.get("backend"),
         )
 
     @classmethod

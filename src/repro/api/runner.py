@@ -36,13 +36,14 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.api.config import RunnerConfig
 from repro.api.request import RunRequest, coerce_scenario, validate_shard_coverage
+from repro.backends import DEFAULT_BACKEND
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.metrics import SimulationResult, SuiteResult
 from repro.pipeline.parallel import (
     ExactShardChain,
     SuiteCache,
     WorkerPool,
-    run_exact_chains,
+    run_scheduled,
     run_simulations,
 )
 from repro.pipeline.scenarios import UpdateScenario
@@ -154,6 +155,23 @@ class Runner:
         """Execute one request and return its suite result."""
         return self.run_batch([request])[0]
 
+    # -- backend selection ---------------------------------------------
+
+    def backend_for(self, request: RunRequest | None = None) -> str:
+        """The execution backend for ``request``: env < request < CLI.
+
+        The config's backend (``REPRO_SUITE_BACKEND``) is the ambient
+        default; a request's own ``backend`` field overrides it; a
+        *forced* config backend (the CLI ``--backend`` flag) overrides
+        both.  Backends are bit-identical, so this only moves work
+        between the interpreter pool and the batched kernels.
+        """
+        if self.config.backend is not None and self.config.backend_forced:
+            return self.config.backend
+        if request is not None and request.backend is not None:
+            return request.backend
+        return self.config.backend or DEFAULT_BACKEND
+
     # -- sharding ------------------------------------------------------
 
     def _shard_plan(
@@ -197,13 +215,25 @@ class Runner:
         length threshold) are fanned out as warmup+measure shard tasks
         in the same pool — or as exact-mode state-handoff chains — and
         their window results are merged back, so a caller always
-        receives one result per trace.  Exact-mode chains bypass the
-        on-disk result cache (their point is the state handoff, not
-        reuse); whole traces and warmup-mode shards cache normally.
+        receives one result per trace.  Flat tasks, warmup-mode shards
+        and the *first shard of every exact chain* all go into one
+        scheduling pass (:func:`run_scheduled`), so the latency-bound
+        chains overlap with the flat work.  Each request's backend
+        selection (:meth:`backend_for`) routes its supported tasks to
+        the batched kernels.
+
+        Exact-mode chains are bit-identical to unsharded runs, so they
+        share the *whole-trace* cache entry: a repeated exact-sharded
+        run hits the cache instead of re-running the chain, and an
+        exact chain can even serve a later whole-trace request (and
+        vice versa).
         """
         validate_shard_coverage(requests)
         flat: list[tuple] = []
+        flat_backends: list[str] = []
         chains: list[ExactShardChain] = []
+        chain_cached: list[SimulationResult | None] = []
+        chain_keys: list[str | None] = []
         layout: list[list[tuple]] = []  # per request: ("one"|"merge"|"chain", positions)
         # Both memos are per-batch: identical sharded requests within the
         # batch share slices (so the scheduler deduplicates their tasks)
@@ -213,12 +243,14 @@ class Runner:
         chain_index: dict[tuple, int] = {}
         for request in requests:
             spec, scenario, config = request.predictor, request.scenario, request.pipeline
+            backend = self.backend_for(request)
             units: list[tuple] = []
             for trace in self.resolve(request.trace):
                 plan = self._shard_plan(request, trace)
                 if plan is None:
                     units.append(("one", len(flat)))
                     flat.append((spec, trace, scenario, config))
+                    flat_backends.append(backend)
                     continue
                 windows, mode = plan
                 plan_key = tuple((w.warmup_start, w.start, w.stop) for w in windows)
@@ -227,6 +259,14 @@ class Runner:
                     if key not in chain_index:
                         chain_index[key] = len(chains)
                         chains.append(ExactShardChain(spec, trace, windows, scenario, config))
+                        cache_key = cached = None
+                        if self.cache is not None:
+                            # Exact mode reproduces the unsharded run bit
+                            # for bit, so the whole-trace key applies.
+                            cache_key = self.cache.key_for(spec, trace, scenario, config)
+                            cached = self.cache.get(cache_key)
+                        chain_keys.append(cache_key)
+                        chain_cached.append(cached)
                     units.append(("chain", chain_index[key]))
                 else:
                     slice_key = (id(trace), plan_key)
@@ -239,14 +279,31 @@ class Runner:
                     for shard in shards:
                         positions.append(len(flat))
                         flat.append((spec, shard, scenario, config))
+                        flat_backends.append(backend)
                     units.append(("merge", positions))
             layout.append(units)
 
-        pool = self._acquire_pool()
-        results = run_simulations(
-            flat, max_workers=self.config.workers, cache=self.cache, pool=pool
+        pending = [
+            chain for chain, cached in zip(chains, chain_cached) if cached is None
+        ]
+        results, pending_results = run_scheduled(
+            flat,
+            pending,
+            max_workers=self.config.workers,
+            cache=self.cache,
+            pool=self._acquire_pool(),
+            backend=flat_backends,
         )
-        chain_results = run_exact_chains(chains, pool=pool, max_workers=self.config.workers)
+        fresh = iter(pending_results)
+        chain_results: list[SimulationResult] = []
+        for cached, cache_key in zip(chain_cached, chain_keys):
+            if cached is not None:
+                chain_results.append(cached)
+                continue
+            result = next(fresh)
+            chain_results.append(result)
+            if self.cache is not None and cache_key is not None and result.window is None:
+                self.cache.put(cache_key, result)
 
         suites: list[SuiteResult] = []
         for request, units in zip(requests, layout):
@@ -338,6 +395,7 @@ class Runner:
             max_workers=self.config.workers,
             cache=self.cache,
             pool=self._acquire_pool(),
+            backend=self.backend_for(),
         )
 
         suites: list[SuiteResult] = []

@@ -1,0 +1,42 @@
+"""Execution backends: pluggable strategies for running simulations.
+
+See :mod:`repro.backends.base` for the protocol and registry,
+:mod:`repro.backends.interp` for the reference staged engine and
+:mod:`repro.backends.vector` for the numpy batch kernels.  Importing this
+package registers the built-in backends::
+
+    from repro.backends import get_backend
+
+    backend = get_backend("numpy")
+    if backend.supports(spec, scenario, config):
+        results = backend.run_group([spec], trace, scenario, config)
+
+Schedulers (:func:`repro.pipeline.parallel.run_simulations`, the
+:class:`~repro.api.runner.Runner`) select backends by name and fall back
+to ``interp`` for anything a backend does not support.
+"""
+
+from repro.backends.base import (
+    DEFAULT_BACKEND,
+    Backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.backends.interp import InterpBackend
+from repro.backends.vector import NumpyBackend
+
+__all__ = [
+    "Backend",
+    "DEFAULT_BACKEND",
+    "InterpBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]
+
+register_backend(InterpBackend.name, InterpBackend)
+register_backend(NumpyBackend.name, NumpyBackend)

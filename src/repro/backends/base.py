@@ -1,0 +1,138 @@
+"""The execution-backend protocol and registry.
+
+A *backend* is one way of executing (spec, trace, scenario, pipeline)
+simulations.  The staged per-branch interpreter
+(:class:`~repro.pipeline.engine.SimulationEngine`) is the reference
+backend — it supports every registered predictor kind and every update
+scenario.  Alternative backends trade generality for throughput: the
+``numpy`` backend (:mod:`repro.backends.vector`) replaces the per-branch
+Python loop with array kernels for the predictor families that have one,
+and **batches across the configuration axis** — one pass over the trace
+updates N table-size/history-length variants in lockstep.
+
+The contract every backend honours:
+
+* results are **prediction-bit-identical** to the interpreter — the same
+  :class:`~repro.pipeline.metrics.SimulationResult`, misprediction for
+  misprediction and access for access — so backend choice is purely a
+  performance knob and results cache across backends;
+* :meth:`Backend.supports` is the capability gate: schedulers ask before
+  dispatching and route unsupported (spec, scenario, config) combinations
+  back to the interpreter, so selecting a backend never changes *which*
+  runs succeed, only how fast they do.
+
+Backends register by name (:func:`register_backend`); selection travels
+as a plain string through :class:`~repro.api.config.RunnerConfig`
+(``REPRO_SUITE_BACKEND``), :class:`~repro.api.request.RunRequest` and the
+CLI ``--backend`` flag.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.config import PipelineConfig
+    from repro.pipeline.metrics import SimulationResult
+    from repro.pipeline.scenarios import UpdateScenario
+    from repro.predictors.registry import PredictorSpec
+    from repro.traces.trace import Trace
+
+__all__ = [
+    "Backend",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: The reference backend: the staged per-branch engine.
+DEFAULT_BACKEND = "interp"
+
+#: name → lazily-constructed singleton factory.
+_FACTORIES: dict[str, Callable[[], "Backend"]] = {}
+_INSTANCES: dict[str, "Backend"] = {}
+
+
+class Backend(ABC):
+    """One execution strategy for (spec, trace, scenario, config) runs."""
+
+    #: Registry name; also what ``RunnerConfig.backend`` etc. select by.
+    name: str = "backend"
+
+    @abstractmethod
+    def supports(
+        self,
+        spec: "PredictorSpec",
+        scenario: "UpdateScenario",
+        config: "PipelineConfig",
+    ) -> bool:
+        """Whether this backend can execute the combination bit-identically."""
+
+    @abstractmethod
+    def run_group(
+        self,
+        specs: Sequence["PredictorSpec"],
+        trace: "Trace",
+        scenario: "UpdateScenario",
+        config: "PipelineConfig",
+    ) -> list["SimulationResult"]:
+        """Execute several specs over one trace; results in spec order.
+
+        Every spec must satisfy :meth:`supports` — schedulers filter
+        before grouping.  This is the batched entry point: a backend that
+        vectorises across configurations executes the whole group in one
+        kernel invocation.
+        """
+
+    def run_one(
+        self,
+        spec: "PredictorSpec",
+        trace: "Trace",
+        scenario: "UpdateScenario",
+        config: "PipelineConfig",
+    ) -> "SimulationResult":
+        """Execute a single spec (the degenerate one-element group)."""
+        return self.run_group([spec], trace, scenario, config)[0]
+
+    def min_group_size(self, scenario: "UpdateScenario", config: "PipelineConfig") -> int:
+        """Smallest group for which this backend beats the interp pool path.
+
+        Schedulers route supported groups below this size to the
+        interpreter instead (results are identical either way; this is
+        purely the throughput contract).  1 means "always profitable".
+        """
+        return 1
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a backend factory under ``name`` (replaces an existing one)."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> list[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_FACTORIES)
+
+
+def get_backend(name: str) -> Backend:
+    """The (singleton) backend registered under ``name``."""
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown backend {name!r}; registered backends: {available_backends()}"
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def resolve_backend(backend: "str | Backend | None") -> Backend:
+    """Coerce a selection (name, instance or None) into a live backend."""
+    if backend is None:
+        return get_backend(DEFAULT_BACKEND)
+    if isinstance(backend, Backend):
+        return backend
+    return get_backend(backend)

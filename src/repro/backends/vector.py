@@ -1,0 +1,390 @@
+"""The ``numpy`` backend: batched array kernels for table predictors.
+
+The staged engine steps every branch through Python; for the single-table
+2-bit-counter families (bimodal, gshare) the same semantics are
+expressible as array programs over the trace decoded once into contiguous
+arrays (:meth:`repro.traces.trace.Trace.arrays`).  Two kernels cover the
+four update scenarios:
+
+**Immediate-update scan kernel** (scenario [I]).  Under the oracle a
+branch's update lands before the next branch predicts, so per table entry
+the counter evolves through a chain of saturating ±1 steps.  The kernel
+sorts branches by table index (stable, so time order survives within each
+group) and runs a *segmented prefix composition* over the per-branch
+4-state transition maps — a Hillis–Steele scan, ``log2(T)`` vectorised
+passes — which yields every branch's pre-update counter without a Python
+loop.  gshare's index stream is itself precomputable: trace-driven
+simulation pushes resolved directions, so the global history at branch
+``t`` is a function of the outcome bits alone (one sliding-window
+convolution per distinct history length, shared across the group).
+
+**Delayed lockstep kernel** (scenarios [A]/[B]/[C]).  Retire-time updates
+interleave with younger fetches, so the time loop stays — but it runs
+*once for the whole group*: N configuration variants (different table
+sizes, history lengths) advance in lockstep, each step doing the fetch
+read, the in-flight bookkeeping and the retire-time update as length-N
+array operations over one flat concatenated table.  A fig9-style sweep
+thus costs one trace pass instead of N.
+
+Both kernels reproduce the engine's accounting exactly — mispredictions,
+fetch/retire reads, *effective* (non-silent) writes, warmup replay for
+sharded traces — so results are prediction-bit-identical to
+:class:`~repro.pipeline.engine.SimulationEngine` and cache-compatible
+with it.  :meth:`NumpyBackend.supports` gates on the registry's backend
+capability tags plus the config details the kernels assume (bimodal needs
+``hysteresis_sharing == 1``; shared hysteresis couples entries and stays
+on the interpreter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.hardware.access_counter import AccessProfile
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.metrics import SimulationResult
+from repro.pipeline.scenarios import UpdateScenario
+from repro.predictors.registry import PredictorSpec, backend_support
+from repro.traces.trace import Trace, TraceArrays
+
+__all__ = ["NumpyBackend"]
+
+#: Saturating 2-bit counter transitions: state → state after taken / not-taken.
+_INC = np.array([1, 2, 3, 3], dtype=np.uint8)
+_DEC = np.array([0, 0, 1, 2], dtype=np.uint8)
+
+#: Power-on counter state shared by both families: weakly taken.
+_INIT = 2
+
+
+@dataclass(frozen=True)
+class _TableKernel:
+    """One supported configuration: a single 2-bit counter table.
+
+    ``history_length == 0`` means PC-indexed (bimodal); otherwise the
+    index XORs in that many packed global-history bits (gshare).
+    """
+
+    name: str
+    entries: int
+    history_length: int
+
+
+def _plain_int(value) -> int | None:
+    """``value`` as an int, or None (bools are not ints here)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        return None
+    return value
+
+
+def _kernel_for(spec: PredictorSpec) -> _TableKernel | None:
+    """The table kernel for ``spec``, or None when the config needs interp.
+
+    Deliberately conservative: any unknown key, non-integer value or
+    out-of-range parameter returns None, so malformed specs fail in the
+    interpreter's factory with today's error messages instead of inside a
+    kernel.
+    """
+    config = spec.config
+    if spec.kind == "bimodal":
+        if not set(config) <= {"entries", "hysteresis_sharing"}:
+            return None
+        entries = _plain_int(config.get("entries", 4096))
+        if entries is None or entries <= 0 or entries & (entries - 1):
+            return None
+        if config.get("hysteresis_sharing", 1) != 1:
+            return None  # shared hysteresis couples neighbouring entries
+        return _TableKernel(name=f"bimodal-{entries}", entries=entries, history_length=0)
+    if spec.kind == "gshare":
+        if not set(config) <= {"log2_entries", "history_length"}:
+            return None
+        log2_entries = _plain_int(config.get("log2_entries", 18))
+        if log2_entries is None or not 2 <= log2_entries <= 26:
+            return None
+        history = config.get("history_length")
+        history = log2_entries if history is None else _plain_int(history)
+        if history is None or not 0 <= history <= log2_entries:
+            return None
+        entries = 1 << log2_entries
+        return _TableKernel(
+            name=f"gshare-{entries * 2 // 1024}Kbits", entries=entries, history_length=history
+        )
+    return None
+
+
+def _history_values(outcomes: np.ndarray, length: int) -> np.ndarray:
+    """Packed global history before each branch, from the outcome bits.
+
+    ``H[t]`` holds the directions of branches ``t-1 .. t-length`` with the
+    most recent in bit 0 — exactly what
+    :meth:`~repro.histories.global_history.GlobalHistoryRegister.value`
+    returns after ``t`` pushes (missing early history reads as 0, like the
+    register's zeroed buffer).
+    """
+    total = outcomes.size
+    values = np.zeros(total, dtype=np.int64)
+    if length == 0 or total < 2:
+        return values
+    weights = np.int64(1) << np.arange(length, dtype=np.int64)
+    # convolve[k] = sum_i outcomes[k-i] * 2**i, so H[t] = convolve[t-1].
+    values[1:] = np.convolve(outcomes, weights)[: total - 1]
+    return values
+
+
+def _indices(kernel: _TableKernel, arrays: TraceArrays, histories: dict) -> np.ndarray:
+    """The table index stream for one kernel (histories memoised per length)."""
+    base = arrays.pcs >> 2
+    if kernel.history_length:
+        packed = histories.get(kernel.history_length)
+        if packed is None:
+            outcomes = arrays.taken.astype(np.int64)
+            packed = histories[kernel.history_length] = _history_values(
+                outcomes, kernel.history_length
+            )
+        base = base ^ packed
+    return base & (kernel.entries - 1)
+
+
+def _profile(
+    measured: int,
+    mispredictions: int,
+    retire_reads: int,
+    entry_reads: int,
+    writes: int,
+) -> AccessProfile:
+    return AccessProfile(
+        branches=measured,
+        mispredictions=mispredictions,
+        fetch_reads=measured,
+        retire_reads=retire_reads,
+        entry_writes=writes,
+        write_accesses=writes,
+        entry_reads=entry_reads,
+        allocations=0,
+    )
+
+
+def _run_immediate(
+    kernel: _TableKernel, idx: np.ndarray, taken: np.ndarray, warmup: int
+) -> tuple[int, AccessProfile]:
+    """Scenario [I] for one kernel: the segmented prefix-composition scan.
+
+    Returns (mispredictions, access profile) over the measured region.
+    """
+    total = idx.size
+    if total == 0:
+        return 0, _profile(0, 0, 0, 0, 0)
+    order = np.argsort(idx, kind="stable")
+    sorted_taken = taken[order]
+    segment_start = np.empty(total, dtype=np.bool_)
+    segment_start[0] = True
+    sorted_idx = idx[order]
+    np.not_equal(sorted_idx[1:], sorted_idx[:-1], out=segment_start[1:])
+    segment = np.cumsum(segment_start)
+
+    # comp[j] is the 4-state map composing this segment's transitions up
+    # to (and including) j; doubling offsets keep composed ranges
+    # contiguous, the segment-id guard clamps them at group boundaries.
+    comp = np.where(sorted_taken[:, None], _INC[None, :], _DEC[None, :])
+    offset = 1
+    while offset < total:
+        joinable = segment[offset:] == segment[:-offset]
+        merged = np.take_along_axis(comp[offset:], comp[:-offset], axis=1)
+        comp[offset:][joinable] = merged[joinable]
+        offset <<= 1
+
+    after = comp[:, _INIT]
+    before_sorted = np.empty(total, dtype=np.uint8)
+    before_sorted[0] = _INIT
+    np.copyto(
+        before_sorted[1:],
+        np.where(segment_start[1:], np.uint8(_INIT), after[:-1]),
+    )
+    before = np.empty(total, dtype=np.uint8)
+    before[order] = before_sorted
+
+    mispredicted = (before >= 2) != taken
+    updated = np.where(taken, _INC[before], _DEC[before])
+    wrote = updated != before
+    measured = total - warmup
+    mispredictions = int(mispredicted[warmup:].sum())
+    return mispredictions, _profile(
+        measured,
+        mispredictions,
+        retire_reads=0,  # the oracle charges no retire-time read access...
+        entry_reads=measured,  # ...but its update does re-read the entry
+        writes=int(wrote[warmup:].sum()),
+    )
+
+
+def _run_delayed(
+    kernels: Sequence[_TableKernel],
+    flat_idx: np.ndarray,
+    taken: np.ndarray,
+    warmup: int,
+    scenario: UpdateScenario,
+    config: PipelineConfig,
+) -> list[tuple[int, AccessProfile]]:
+    """Scenarios [A]/[B]/[C]: one time loop advancing all kernels in lockstep.
+
+    ``flat_idx`` is the ``[N, T]`` index matrix already offset into one
+    concatenated table.  Per config the engine's fetch→retire interleaving
+    is reproduced exactly: branch ``t`` retires right after branch
+    ``t + retire_delay`` fetches, the in-flight window drains at
+    end-of-trace, and the retire-time read policy follows the scenario
+    (for [C] per config, since mispredictions differ across variants).
+    """
+    count = len(kernels)
+    total = taken.size
+    tables = np.concatenate(
+        [np.full(kernel.entries, _INIT, dtype=np.int8) for kernel in kernels]
+    )
+    retire_delay = config.retire_delay
+    reread_always = scenario is UpdateScenario.REREAD_AT_RETIRE
+    reread_never = scenario is UpdateScenario.FETCH_READ_ONLY
+
+    # Ring buffers over the in-flight window: the fetch-time counter
+    # snapshot and misprediction flag of the last `retire_delay` branches.
+    ring = retire_delay + 1
+    snapshots = np.empty((ring, count), dtype=np.int8)
+    mispredicted_ring = np.empty((ring, count), dtype=np.bool_)
+
+    mispredictions = np.zeros(count, dtype=np.int64)
+    retire_reads = np.zeros(count, dtype=np.int64)
+    entry_reads = np.zeros(count, dtype=np.int64)
+    writes = np.zeros(count, dtype=np.int64)
+
+    def retire(branch: int) -> None:
+        nonlocal retire_reads, entry_reads, writes
+        columns = flat_idx[:, branch]
+        current = tables[columns]
+        slot = branch % ring
+        if reread_always:
+            used = current
+        elif reread_never:
+            used = snapshots[slot]
+        else:
+            reread = mispredicted_ring[slot]
+            used = np.where(reread, current, snapshots[slot])
+        if taken[branch]:
+            updated = np.minimum(used + 1, 3)
+        else:
+            updated = np.maximum(used - 1, 0)
+        wrote = updated != current
+        tables[columns] = updated
+        if branch >= warmup:
+            if reread_always:
+                retire_reads += 1
+                entry_reads += 1
+            elif not reread_never:
+                reread = mispredicted_ring[slot]
+                retire_reads += reread
+                entry_reads += reread
+            writes += wrote
+
+    for t in range(total):
+        current = tables[flat_idx[:, t]]
+        slot = t % ring
+        snapshots[slot] = current
+        mispredicted = (current >= 2) != taken[t]
+        mispredicted_ring[slot] = mispredicted
+        if t >= warmup:
+            mispredictions += mispredicted
+        if t >= retire_delay:
+            retire(t - retire_delay)
+    for branch in range(max(0, total - retire_delay), total):
+        retire(branch)
+
+    measured = total - warmup
+    return [
+        (
+            int(mispredictions[n]),
+            _profile(
+                measured,
+                int(mispredictions[n]),
+                retire_reads=int(retire_reads[n]),
+                entry_reads=int(entry_reads[n]),
+                writes=int(writes[n]),
+            ),
+        )
+        for n in range(count)
+    ]
+
+
+class NumpyBackend(Backend):
+    """Vectorised batch execution for the bimodal and gshare families."""
+
+    name = "numpy"
+
+    def supports(
+        self, spec: PredictorSpec, scenario: UpdateScenario, config: PipelineConfig
+    ) -> bool:
+        return "numpy" in backend_support(spec.kind) and _kernel_for(spec) is not None
+
+    def min_group_size(self, scenario: UpdateScenario, config: PipelineConfig) -> int:
+        # The scan kernel vectorises the time axis, so it wins even for a
+        # single config; the delayed lockstep kernel only amortises its
+        # per-step array-op overhead across a batch — a lone delayed run
+        # is faster (and parallelises) on the interp pool path.
+        return 1 if scenario is UpdateScenario.IMMEDIATE else 2
+
+    def run_group(
+        self,
+        specs: Sequence[PredictorSpec],
+        trace: Trace,
+        scenario: UpdateScenario,
+        config: PipelineConfig,
+    ) -> list[SimulationResult]:
+        kernels = []
+        for spec in specs:
+            kernel = _kernel_for(spec)
+            if kernel is None:
+                raise ValueError(
+                    f"spec {spec!r} is not supported by the numpy backend; "
+                    "schedulers must check supports() and fall back"
+                )
+            kernels.append(kernel)
+        warmup = trace.warmup_count
+        if not 0 <= warmup <= len(trace.records):
+            raise ValueError(
+                f"trace {trace.name!r}: warmup_count {warmup} "
+                f"outside [0, {len(trace.records)}]"
+            )
+        arrays = trace.arrays()
+        histories: dict[int, np.ndarray] = {}
+        indices = [_indices(kernel, arrays, histories) for kernel in kernels]
+
+        if scenario is UpdateScenario.IMMEDIATE:
+            outcomes = [
+                _run_immediate(kernel, idx, arrays.taken, warmup)
+                for kernel, idx in zip(kernels, indices)
+            ]
+        else:
+            offsets = np.cumsum([0] + [kernel.entries for kernel in kernels])[:-1]
+            flat_idx = np.stack(indices) + offsets[:, None]
+            outcomes = _run_delayed(
+                kernels, flat_idx, arrays.taken, warmup, scenario, config
+            )
+
+        measured = len(trace.records) - warmup
+        instructions = int(arrays.preceding[warmup:].sum()) + measured
+        return [
+            SimulationResult(
+                trace_name=trace.source_name or trace.name,
+                predictor_name=kernel.name,
+                branches=measured,
+                instructions=instructions,
+                mispredictions=mispredictions,
+                misprediction_penalty=config.misprediction_penalty,
+                accesses=profile,
+                scenario=scenario.label,
+                ium_overrides=0,
+                window=trace.window,
+                warmup_branches=warmup,
+            )
+            for kernel, (mispredictions, profile) in zip(kernels, outcomes)
+        ]

@@ -29,13 +29,21 @@ with one staged machine and the suite-level drivers built on top of it:
   misprediction penalty used by the MPPKI metric,
 * :class:`~repro.pipeline.metrics.SimulationResult` and
   :class:`~repro.pipeline.metrics.SuiteResult` — accuracy and access
-  metrics, including MPKI and the CBP-3 MPPKI.
+  metrics, including MPKI and the CBP-3 MPPKI,
+* :func:`~repro.pipeline.engine.run_with_backend` — the dispatch hook
+  into the pluggable execution backends (:mod:`repro.backends`): one
+  (spec, trace) run on the named backend, interp fallback included.
 """
 
 from repro.pipeline.config import PipelineConfig
-from repro.pipeline.engine import SimulationEngine
+from repro.pipeline.engine import SimulationEngine, run_with_backend
 from repro.pipeline.metrics import SimulationResult, SuiteResult
-from repro.pipeline.parallel import ParallelSuiteRunner, SuiteCache, run_simulations
+from repro.pipeline.parallel import (
+    ParallelSuiteRunner,
+    SuiteCache,
+    run_scheduled,
+    run_simulations,
+)
 from repro.pipeline.scenarios import UpdateScenario
 from repro.pipeline.simulator import simulate, simulate_delayed, simulate_suite
 
@@ -47,7 +55,9 @@ __all__ = [
     "SuiteCache",
     "SuiteResult",
     "UpdateScenario",
+    "run_scheduled",
     "run_simulations",
+    "run_with_backend",
     "simulate",
     "simulate_delayed",
     "simulate_suite",

@@ -46,6 +46,7 @@ __all__ = [
     "SuiteCache",
     "WorkerPool",
     "run_exact_chains",
+    "run_scheduled",
     "run_simulations",
     "trace_fingerprint",
 ]
@@ -416,65 +417,12 @@ def run_exact_chains(
     Results come back in chain order, each the merge of its shard
     results — bit-identical to the unsharded runs.
 
-    With ``pool`` set the shards run on the persistent
-    :class:`WorkerPool`; otherwise an ephemeral executor is used when
-    ``max_workers`` and the chain count allow any overlap, and everything
-    runs in-process when they do not (the pickled handoff still happens,
-    so the serial path exercises the same state protocol).
+    This is :func:`run_scheduled` with no flat tasks; callers holding
+    both (the :class:`~repro.api.runner.Runner`) schedule them together
+    so chain shards overlap with the flat work instead of waiting for it.
     """
-    if not chains:
-        return []
-    parts: list[list[SimulationResult]] = [[] for _ in chains]
-
-    def serial() -> list[SimulationResult]:
-        for position, chain in enumerate(chains):
-            state: bytes | None = None
-            for index in range(len(chain.windows)):
-                result, state = _run_exact_shard(chain.payload(index, state))
-                parts[position].append(result)
-        return [SimulationResult.merge(chunk) for chunk in parts]
-
-    use_pool = pool is not None
-    if not use_pool:
-        limit = max_workers if max_workers is not None else (os.cpu_count() or 1)
-        if limit <= 1 or len(chains) <= 1:
-            return serial()
-
-    def drive(submit) -> list[SimulationResult]:
-        cursor = [0] * len(chains)
-        pending: dict[Future, int] = {}
-
-        def launch(position: int, state: bytes | None) -> None:
-            payload = chains[position].payload(cursor[position], state)
-            pending[submit(payload)] = position
-
-        for position in range(len(chains)):
-            launch(position, None)
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                position = pending.pop(future)
-                result, state = future.result()
-                parts[position].append(result)
-                cursor[position] += 1
-                if cursor[position] < len(chains[position].windows):
-                    launch(position, state)
-        return [SimulationResult.merge(chunk) for chunk in parts]
-
-    if use_pool:
-        try:
-            return drive(pool.submit)
-        except (BrokenExecutor, KeyboardInterrupt, SystemExit):
-            pool.close(cancel=True)
-            raise
-    executor = ProcessPoolExecutor(max_workers=min(limit, len(chains)))
-    try:
-        return drive(lambda payload: executor.submit(_run_exact_shard, payload))
-    except BaseException:
-        executor.shutdown(wait=True, cancel_futures=True)
-        raise
-    finally:
-        executor.shutdown()
+    _, chain_results = run_scheduled([], chains, max_workers=max_workers, pool=pool)
+    return chain_results
 
 
 class WorkerPool:
@@ -553,6 +501,22 @@ class WorkerPool:
         self.exact_shards += 1
         return future
 
+    def submit_sim(self, task: tuple) -> Future:
+        """Dispatch one flat simulation task; resolves to (result, warm).
+
+        The future-based sibling of :meth:`map`, used by
+        :func:`run_scheduled` to interleave flat tasks with exact-shard
+        chains in one pass.  The caller aggregates the warm flags and
+        reports them through :meth:`record_batch`.
+        """
+        return self._ensure().submit(_simulate_one_warm, task)
+
+    def record_batch(self, executed: int, warm_hits: int) -> None:
+        """Fold one :meth:`submit_sim`-based batch into the warm accounting."""
+        self.batches += 1
+        self.tasks_executed += executed
+        self.warm_hits += warm_hits
+
     def stats(self) -> dict:
         """Worker count, lifecycle state and warm-reuse counters."""
         tasks = self.tasks_executed
@@ -585,11 +549,211 @@ class WorkerPool:
         self.close(cancel=exc_info[0] is not None)
 
 
+def _resolve_selection(selection):
+    """A backend selection (name, instance or None) → live Backend or None.
+
+    ``None`` and the default name mean "the interpreter via the pool" —
+    returned as None so the scheduler takes its normal parallel path.
+    """
+    from repro.backends import DEFAULT_BACKEND, get_backend
+    from repro.backends.base import Backend
+
+    if selection is None:
+        return None
+    backend = selection if isinstance(selection, Backend) else get_backend(selection)
+    return None if backend.name == DEFAULT_BACKEND else backend
+
+
+def run_scheduled(
+    tasks: list[tuple[PredictorSpec, Trace, UpdateScenario, PipelineConfig]],
+    chains: list[ExactShardChain] | None = None,
+    max_workers: int | None = None,
+    cache: SuiteCache | None = None,
+    pool: WorkerPool | None = None,
+    backend=None,
+) -> tuple[list[SimulationResult], list[SimulationResult]]:
+    """One scheduling pass over flat tasks, exact-shard chains and backends.
+
+    Flat (spec, trace, scenario, config) tasks are deduplicated and
+    cache-checked as in :func:`run_simulations`; the survivors are routed
+    by ``backend``:
+
+    * tasks the selected backend supports are grouped by (trace,
+      scenario, config) and executed as **one batched kernel call per
+      group** in the driving process (:mod:`repro.backends`) — while any
+      pool/executor futures for the rest are already in flight;
+    * everything else (and the default ``interp`` selection) runs on the
+      worker pool exactly as before.
+
+    ``chains`` are exact-mode shard pipelines; their first shards are
+    submitted **into the same pass** as the flat tasks, so the
+    latency-bound chains overlap with the flat work instead of waiting
+    for it to drain.  Returns (flat results in task order, chain results
+    in chain order).
+
+    ``backend`` is a name, a live :class:`~repro.backends.base.Backend`,
+    ``None`` (interp), or a per-task sequence of those (the
+    :class:`~repro.api.runner.Runner` resolves selection per request).
+    """
+    chains = list(chains or [])
+    if not tasks and not chains:
+        return [], []
+    slots: list[SimulationResult | None] = [None] * len(tasks)
+    keys: dict[int, str] = {}
+    unique_tasks: list[tuple] = []
+    unique_positions: list[list[int]] = []
+    index_of: dict[tuple, int] = {}
+    for position, task in enumerate(tasks):
+        spec, trace, scenario, config = task
+        if cache is not None:
+            key = cache.key_for(spec, trace, scenario, config)
+            keys[position] = key
+            cached = cache.get(key)
+            if cached is not None:
+                slots[position] = cached
+                continue
+        group_key = (spec, id(trace), scenario, config)
+        index = index_of.get(group_key)
+        if index is None:
+            index = index_of[group_key] = len(unique_tasks)
+            unique_tasks.append(task)
+            unique_positions.append([])
+        unique_positions[index].append(position)
+
+    selections = (
+        list(backend) if isinstance(backend, (list, tuple)) else [backend] * len(tasks)
+    )
+    if len(selections) != len(tasks):
+        raise ValueError(
+            f"per-task backend list has {len(selections)} entries for {len(tasks)} tasks"
+        )
+
+    # Route unique tasks: batched kernel groups vs the interp pool path.
+    interp_indices: list[int] = []
+    kernel_groups: dict[tuple, list[int]] = {}
+    kernel_backends: dict[tuple, object] = {}
+    for index, task in enumerate(unique_tasks):
+        spec, trace, scenario, config = task
+        chosen = _resolve_selection(selections[unique_positions[index][0]])
+        if chosen is not None and chosen.supports(spec, scenario, config):
+            batch_key = (chosen.name, id(trace), scenario, config)
+            kernel_groups.setdefault(batch_key, []).append(index)
+            kernel_backends[batch_key] = chosen
+        else:
+            interp_indices.append(index)
+    # Groups too small to amortise their kernel go to the pool instead —
+    # backend selection must never cost throughput (e.g. a lone delayed
+    # run is faster, and parallelises, on the interpreter).
+    for batch_key in list(kernel_groups):
+        chosen = kernel_backends[batch_key]
+        indices = kernel_groups[batch_key]
+        _, _, scenario, config = unique_tasks[indices[0]]
+        if len(indices) < chosen.min_group_size(scenario, config):
+            interp_indices.extend(kernel_groups.pop(batch_key))
+            kernel_backends.pop(batch_key)
+    interp_indices.sort()
+
+    fresh: dict[int, SimulationResult] = {}
+
+    def run_kernel_groups() -> None:
+        for batch_key, indices in kernel_groups.items():
+            chosen = kernel_backends[batch_key]
+            specs = [unique_tasks[index][0] for index in indices]
+            _, trace, scenario, config = unique_tasks[indices[0]]
+            for index, result in zip(
+                indices, chosen.run_group(specs, trace, scenario, config)
+            ):
+                fresh[index] = result
+
+    interp_tasks = [unique_tasks[index] for index in interp_indices]
+    chain_parts: list[list[SimulationResult]] = [[] for _ in chains]
+
+    def run_serial() -> None:
+        run_kernel_groups()
+        for index, task in zip(interp_indices, interp_tasks):
+            fresh[index] = _simulate_one(task)
+        for position, chain in enumerate(chains):
+            state: bytes | None = None
+            for shard in range(len(chain.windows)):
+                result, state = _run_exact_shard(chain.payload(shard, state))
+                chain_parts[position].append(result)
+
+    def drive(submit_task, submit_shard) -> tuple[int, int]:
+        """Fan everything out, overlap kernels, pump chain continuations."""
+        cursor = [0] * len(chains)
+        pending: dict[Future, tuple[str, int]] = {}
+        for index, task in zip(interp_indices, interp_tasks):
+            pending[submit_task(task)] = ("task", index)
+        for position, chain in enumerate(chains):
+            pending[submit_shard(chain.payload(0, None))] = ("chain", position)
+        # The batched kernels crunch in this process while the workers
+        # chew on the interp tasks and first shards just submitted.
+        run_kernel_groups()
+        executed = 0
+        warm = 0
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                kind, index = pending.pop(future)
+                if kind == "task":
+                    result, was_warm = future.result()
+                    fresh[index] = result
+                    executed += 1
+                    warm += 1 if was_warm else 0
+                else:
+                    result, state = future.result()
+                    chain_parts[index].append(result)
+                    cursor[index] += 1
+                    if cursor[index] < len(chains[index].windows):
+                        payload = chains[index].payload(cursor[index], state)
+                        pending[submit_shard(payload)] = ("chain", index)
+        return executed, warm
+
+    if pool is not None:
+        try:
+            executed, warm = drive(pool.submit_sim, pool.submit)
+        except (BrokenExecutor, KeyboardInterrupt, SystemExit):
+            pool.close(cancel=True)
+            raise
+        if executed:
+            pool.record_batch(executed, warm)
+    else:
+        limit = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        parallel_jobs = len(interp_tasks) + len(chains)
+        if limit <= 1 or parallel_jobs <= 1:
+            run_serial()
+        else:
+            executor = ProcessPoolExecutor(max_workers=min(limit, parallel_jobs))
+            try:
+                drive(
+                    lambda task: executor.submit(_simulate_one_warm, task),
+                    lambda payload: executor.submit(_run_exact_shard, payload),
+                )
+            except BaseException:
+                # Ctrl-C (or a worker crash) must not orphan workers:
+                # drop queued tasks, let running ones finish, join.
+                executor.shutdown(wait=True, cancel_futures=True)
+                raise
+            executor.shutdown()
+
+    for index, positions in enumerate(unique_positions):
+        result = fresh[index]
+        for position in positions:
+            slots[position] = result
+        if cache is not None:
+            cache.put(keys[positions[0]], result)
+
+    assert all(result is not None for result in slots)
+    chain_results = [SimulationResult.merge(parts) for parts in chain_parts]
+    return slots, chain_results  # type: ignore[return-value]
+
+
 def run_simulations(
     tasks: list[tuple[PredictorSpec, Trace, UpdateScenario, PipelineConfig]],
     max_workers: int | None = None,
     cache: SuiteCache | None = None,
     pool: WorkerPool | None = None,
+    backend=None,
 ) -> list[SimulationResult]:
     """Execute (spec, trace, scenario, config) runs through one process pool.
 
@@ -610,50 +774,16 @@ def run_simulations(
     :class:`WorkerPool` instead (``max_workers`` is then ignored): the
     warm path used by a :class:`~repro.api.runner.Runner` in persistent
     mode and by the HTTP service.
+
+    ``backend`` selects an execution backend (:mod:`repro.backends`) for
+    the tasks it supports — e.g. ``"numpy"`` collapses a sweep of table
+    predictor variants over one trace into one batched kernel call;
+    unsupported tasks transparently take the interp pool path.
     """
-    if not tasks:
-        return []
-    slots: list[SimulationResult | None] = [None] * len(tasks)
-    keys: dict[int, str] = {}
-    groups: dict[tuple, list[int]] = {}
-    for position, task in enumerate(tasks):
-        spec, trace, scenario, config = task
-        if cache is not None:
-            key = cache.key_for(spec, trace, scenario, config)
-            keys[position] = key
-            cached = cache.get(key)
-            if cached is not None:
-                slots[position] = cached
-                continue
-        groups.setdefault((spec, id(trace), scenario, config), []).append(position)
-
-    if groups:
-        unique = [tasks[positions[0]] for positions in groups.values()]
-        if pool is not None:
-            fresh = pool.map(unique)
-        else:
-            limit = max_workers if max_workers is not None else (os.cpu_count() or 1)
-            workers = max(1, min(limit, len(unique)))
-            if workers == 1:
-                fresh = [_simulate_one(task) for task in unique]
-            else:
-                executor = ProcessPoolExecutor(max_workers=workers)
-                try:
-                    fresh = list(executor.map(_simulate_one, unique))
-                except BaseException:
-                    # Ctrl-C (or a worker crash) must not orphan workers:
-                    # drop queued tasks, let running ones finish, join.
-                    executor.shutdown(wait=True, cancel_futures=True)
-                    raise
-                executor.shutdown()
-        for positions, result in zip(groups.values(), fresh):
-            for position in positions:
-                slots[position] = result
-            if cache is not None:
-                cache.put(keys[positions[0]], result)
-
-    assert all(result is not None for result in slots)
-    return slots  # type: ignore[return-value]
+    results, _ = run_scheduled(
+        tasks, [], max_workers=max_workers, cache=cache, pool=pool, backend=backend
+    )
+    return results
 
 
 @dataclass

@@ -32,6 +32,7 @@ from repro.predictors.base import Predictor
 __all__ = [
     "PredictorSpec",
     "available",
+    "backend_support",
     "create",
     "describe",
     "factory",
@@ -43,6 +44,11 @@ __all__ = [
 _REGISTRY: dict[str, Callable[..., Predictor]] = {}
 #: kind → one-line description shown by :func:`describe`.
 _DESCRIPTIONS: dict[str, str] = {}
+#: kind → names of execution backends with a batched kernel for it.  The
+#: staged interpreter supports everything, so "interp" is always present;
+#: a backend named here additionally config-checks the spec itself (see
+#: e.g. :meth:`repro.backends.vector.NumpyBackend.supports`).
+_BACKEND_SUPPORT: dict[str, frozenset[str]] = {}
 
 
 def _freeze(value: Any) -> Any:
@@ -114,19 +120,30 @@ class PredictorSpec:
 
 
 def register(
-    kind: str, factory: Callable[..., Predictor] | None = None, *, description: str = ""
+    kind: str,
+    factory: Callable[..., Predictor] | None = None,
+    *,
+    description: str = "",
+    backends: tuple[str, ...] = (),
 ):
     """Register a predictor factory under ``kind``.
 
     Usable directly (``register("gshare", GSharePredictor)``) or as a
     decorator on a factory function.  Registering an existing kind
-    replaces it (useful for tests and user extensions).
+    replaces it (useful for tests and user extensions) — including its
+    backend capability tags, so a replacement factory is never executed
+    by a batched kernel written for the original.
+
+    ``backends`` names the execution backends (beyond the always-capable
+    staged interpreter) that ship a batched kernel for this kind; see
+    :func:`backend_support`.
     """
 
     def _register(func: Callable[..., Predictor]) -> Callable[..., Predictor]:
         _REGISTRY[kind] = func
         doc = (func.__doc__ or "").strip()
         _DESCRIPTIONS[kind] = description or (doc.splitlines()[0] if doc else "")
+        _BACKEND_SUPPORT[kind] = frozenset(backends) | {"interp"}
         return func
 
     if factory is not None:
@@ -143,6 +160,17 @@ def describe() -> Iterator[tuple[str, str]]:
     """Yield ``(kind, one-line description)`` for every registered kind."""
     for kind in available():
         yield kind, _DESCRIPTIONS.get(kind, "")
+
+
+def backend_support(kind: str) -> frozenset[str]:
+    """Names of the execution backends with a batched kernel for ``kind``.
+
+    Always contains ``"interp"`` for registered kinds (the staged engine
+    runs everything).  Unknown kinds return an empty set rather than
+    raising: backends use this as a capability probe, and the scheduler's
+    interp fallback will produce the canonical unknown-kind error.
+    """
+    return _BACKEND_SUPPORT.get(kind, frozenset())
 
 
 def create(kind: str, **config: Any) -> Predictor:
@@ -190,14 +218,22 @@ def _always_not_taken() -> Predictor:
     return AlwaysNotTakenPredictor()
 
 
-@register("bimodal", description="PC-indexed 2-bit counters with shared hysteresis")
+@register(
+    "bimodal",
+    description="PC-indexed 2-bit counters with shared hysteresis",
+    backends=("numpy",),
+)
 def _bimodal(**config: Any) -> Predictor:
     from repro.predictors.bimodal import BimodalPredictor
 
     return BimodalPredictor(**config)
 
 
-@register("gshare", description="single 2-bit counter table, PC xor global history")
+@register(
+    "gshare",
+    description="single 2-bit counter table, PC xor global history",
+    backends=("numpy",),
+)
 def _gshare(**config: Any) -> Predictor:
     from repro.predictors.gshare import GSharePredictor
 

@@ -15,8 +15,8 @@ Layers (each usable on its own):
 * :mod:`repro.service.core` — :class:`SimulationService`: queue,
   dispatcher thread, stats,
 * :mod:`repro.service.app` — the ``http.server`` application
-  (``POST /v1/runs``, ``GET /v1/runs/<id>``, ``GET /v1/healthz``,
-  ``GET /v1/stats``),
+  (``POST /v1/runs``, ``GET /v1/runs/<id>``, ``DELETE /v1/runs/<id>``,
+  ``GET /v1/healthz``, ``GET /v1/stats``),
 * :mod:`repro.service.client` — a urllib client (used by
   ``repro submit`` and the tests).
 
@@ -31,6 +31,7 @@ Start one with ``repro serve`` or::
 from repro.service.app import ServiceHTTPServer, make_server, serve
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.core import (
+    CancelConflictError,
     QueueFullError,
     ServiceClosedError,
     SimulationService,
@@ -40,6 +41,7 @@ from repro.service.protocol import Job, JobStatus, ProtocolError, parse_submissi
 from repro.service.store import DiskResultStore, MemoryResultStore, ResultStore
 
 __all__ = [
+    "CancelConflictError",
     "DiskResultStore",
     "Job",
     "JobStatus",

@@ -15,13 +15,17 @@ Endpoints (all JSON):
                              ``202`` with the still-running document on
                              timeout.
 ``GET /v1/runs/<id>``        the job document; ``404`` for unknown ids.
+``DELETE /v1/runs/<id>``     cancel a queued job: ``200`` with the
+                             cancelled document; ``409`` when it is
+                             already running or terminal.
 ``GET /v1/healthz``          liveness: ``{"status": "ok"}`` plus uptime.
 ``GET /v1/stats``            queue depth, job counters, dispatcher
                              utilization, warm-pool and cache hit rates.
 ===========================  ==================================================
 
 Error mapping: malformed body/submission → 400, unknown job → 404,
-queue full → 503 with ``Retry-After``, closed service → 503.
+uncancellable job → 409, queue full → 503 with ``Retry-After``, closed
+service → 503.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from urllib.parse import parse_qs, urlsplit
 
 import repro
 from repro.service.core import (
+    CancelConflictError,
     QueueFullError,
     ServiceClosedError,
     SimulationService,
@@ -134,6 +139,22 @@ class _Handler(BaseHTTPRequestHandler):
                 self._error(404, f"unknown job {job_id!r}")
         else:
             self._error(404, f"no such resource {path!r}")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        path = self._path()
+        if not path.startswith("/v1/runs/"):
+            self._error(404, f"no such resource {path!r}")
+            return
+        job_id = path[len("/v1/runs/"):]
+        if "/" in job_id or not job_id:
+            self._error(404, f"no such resource {path!r}")
+            return
+        try:
+            self._reply(200, self.server.service.cancel(job_id))
+        except UnknownJobError:
+            self._error(404, f"unknown job {job_id!r}")
+        except CancelConflictError as error:
+            self._error(409, str(error))
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = self._path()

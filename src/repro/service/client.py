@@ -75,6 +75,14 @@ class ServiceClient:
     def job(self, job_id: str) -> dict:
         return self._call("GET", f"/v1/runs/{job_id}")
 
+    def cancel(self, job_id: str) -> dict:
+        """DELETE a queued job; returns its cancelled document.
+
+        Raises :class:`ServiceClientError` with status 404 for unknown
+        jobs and 409 when the job is already running or terminal.
+        """
+        return self._call("DELETE", f"/v1/runs/{job_id}")
+
     def submit(
         self,
         requests: Sequence[RunRequest] | RunRequest | Sequence[dict] | dict,

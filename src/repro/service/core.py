@@ -37,6 +37,7 @@ from repro.service.protocol import Job, JobStatus, parse_submission
 from repro.service.store import MemoryResultStore, ResultStore
 
 __all__ = [
+    "CancelConflictError",
     "DEFAULT_QUEUE_SIZE",
     "QueueFullError",
     "ServiceClosedError",
@@ -58,6 +59,14 @@ class QueueFullError(RuntimeError):
 
 class UnknownJobError(KeyError):
     """No live or stored job has the requested id (maps to HTTP 404)."""
+
+
+class CancelConflictError(RuntimeError):
+    """The job exists but is not cancellable (maps to HTTP 409).
+
+    Only *queued* jobs cancel: a running batch is already executing on
+    the worker pool and a terminal job has nothing left to cancel.
+    """
 
 
 class ServiceClosedError(RuntimeError):
@@ -97,7 +106,11 @@ class SimulationService:
             store if store is not None else MemoryResultStore(max_entries=DEFAULT_STORE_ENTRIES)
         )
         self.queue_size = queue_size
-        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_size)
+        # Unbounded on purpose: the back-pressure bound is enforced in
+        # submit() by counting live QUEUED jobs, so a cancelled job frees
+        # its capacity immediately even though its tombstone stays in the
+        # channel until the dispatcher pops (and skips) it.
+        self._queue: "queue.Queue[Any]" = queue.Queue()
         self._live: dict[str, Job] = {}
         self._lock = threading.Lock()
         self._dispatcher: threading.Thread | None = None
@@ -109,6 +122,7 @@ class SimulationService:
         self.submitted = 0
         self.completed = 0
         self.failed = 0
+        self.cancelled = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -164,12 +178,14 @@ class SimulationService:
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is closed")
-            try:
-                self._queue.put_nowait(job)
-            except queue.Full:
+            depth = sum(
+                1 for live in self._live.values() if live.status is JobStatus.QUEUED
+            )
+            if depth >= self.queue_size:
                 raise QueueFullError(
-                    f"job queue is full ({self.queue_size} pending jobs); retry later"
-                ) from None
+                    f"job queue is full ({depth} pending jobs); retry later"
+                )
+            self._queue.put_nowait(job)
             self._live[job.id] = job
             self.submitted += 1
         return job
@@ -189,6 +205,50 @@ class SimulationService:
         if document is None:
             raise UnknownJobError(job_id)
         return document
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Cancel a *queued* job; returns its terminal document.
+
+        Raises :class:`UnknownJobError` for ids the service has never
+        seen and :class:`CancelConflictError` when the job is already
+        running or terminal — running batches execute to completion (the
+        worker pool has no safe preemption point), so callers decide
+        between waiting and abandoning the result.  The cancelled job
+        stays in the queue as a tombstone; the dispatcher skips it.
+        """
+        with self._lock:
+            job = self._live.get(job_id)
+            if job is None:
+                document = self.store.get(job_id)
+                if document is None:
+                    raise UnknownJobError(job_id)
+                raise CancelConflictError(
+                    f"job {job_id} is already {document['status']} and cannot be cancelled"
+                )
+            if job.status is not JobStatus.QUEUED:
+                raise CancelConflictError(
+                    f"job {job_id} is {job.status.value} and cannot be cancelled"
+                )
+            job.status = JobStatus.CANCELLED
+            job.finished = time.time()
+            self.cancelled += 1
+        # Drop the tombstone from the channel too: without this, a client
+        # looping submit/cancel while the dispatcher is busy would grow
+        # the (unbounded) channel without limit.  If the dispatcher
+        # already popped the job, remove() misses and the status check in
+        # _execute is the race guard.
+        with self._queue.mutex:
+            try:
+                self._queue.queue.remove(job)
+            except ValueError:
+                pass
+        # Store before unlisting so job() never sees a gap (same protocol
+        # as _execute's terminal hand-off).
+        self.store.put(job.id, job.to_dict())
+        with self._lock:
+            self._live.pop(job.id, None)
+        job.done_event.set()
+        return job.to_dict()
 
     def wait(self, job_id: str, timeout: float | None = None) -> dict[str, Any]:
         """Block until the job reaches a terminal state (or ``timeout``).
@@ -219,6 +279,7 @@ class SimulationService:
         with self._lock:
             live = list(self._live.values())
             submitted, completed, failed = self.submitted, self.completed, self.failed
+            cancelled = self.cancelled
             busy = self._busy_seconds
             busy_since = self._busy_since
         if busy_since is not None:
@@ -241,6 +302,7 @@ class SimulationService:
                 "submitted": submitted,
                 "completed": completed,
                 "failed": failed,
+                "cancelled": cancelled,
                 "running": sum(1 for job in live if job.status is JobStatus.RUNNING),
             },
             "dispatcher": {
@@ -275,9 +337,11 @@ class SimulationService:
                 self.runner.close()
 
     def _execute(self, job: Job) -> None:
-        job.status = JobStatus.RUNNING
-        job.started = time.time()
         with self._lock:
+            if job.status is not JobStatus.QUEUED:
+                return  # cancelled while queued: the tombstone is skipped
+            job.status = JobStatus.RUNNING
+            job.started = time.time()
             self._busy_since = job.started
         try:
             results = self.runner.run_batch(job.requests)

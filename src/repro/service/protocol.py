@@ -44,16 +44,18 @@ class ProtocolError(ValueError):
 
 
 class JobStatus(enum.Enum):
-    """Lifecycle of a job: queued → running → done | failed."""
+    """Lifecycle of a job: queued → running → done | failed, or
+    queued → cancelled (running jobs cannot be cancelled)."""
 
     QUEUED = "queued"
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobStatus.DONE, JobStatus.FAILED)
+        return self in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
 
 
 #: Wire-level terminal status strings — the single source the HTTP wait

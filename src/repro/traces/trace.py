@@ -9,9 +9,34 @@ number of executed micro-ops, not by the number of branches).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-__all__ = ["BranchRecord", "Trace"]
+if TYPE_CHECKING:  # pragma: no cover - numpy only needed when arrays() is used
+    import numpy as np
+
+__all__ = ["BranchRecord", "Trace", "TraceArrays"]
+
+
+@dataclass(frozen=True)
+class TraceArrays:
+    """A trace decoded once into contiguous arrays (the batched-kernel view).
+
+    Attributes
+    ----------
+    pcs:
+        Branch program counters, ``int64``.
+    taken:
+        Resolved directions, ``bool``.
+    preceding:
+        ``preceding_instructions`` per record, ``int64``.
+    """
+
+    pcs: "np.ndarray"
+    taken: "np.ndarray"
+    preceding: "np.ndarray"
+
+    def __len__(self) -> int:
+        return len(self.pcs)
 
 
 @dataclass(frozen=True)
@@ -93,6 +118,41 @@ class Trace:
     def append(self, record: BranchRecord) -> None:
         """Append one dynamic branch."""
         self.records.append(record)
+        self.__dict__.pop("_arrays", None)  # invalidate the cached array view
+
+    def arrays(self) -> TraceArrays:
+        """The records decoded into contiguous numpy arrays, cached.
+
+        Batched backends (:mod:`repro.backends`) decode a trace once and
+        then run every configuration variant off the same arrays.  The
+        cache is invalidated by :meth:`append` (and defensively by a
+        length check, for callers mutating ``records`` directly) and is
+        never pickled — shards shipped to worker processes carry only the
+        records, each process decodes locally on demand.
+        """
+        import numpy as np
+
+        cached = self.__dict__.get("_arrays")
+        if cached is not None and len(cached) == len(self.records):
+            return cached
+        records = self.records
+        arrays = TraceArrays(
+            pcs=np.fromiter((r.pc for r in records), dtype=np.int64, count=len(records)),
+            taken=np.fromiter((r.taken for r in records), dtype=np.bool_, count=len(records)),
+            preceding=np.fromiter(
+                (r.preceding_instructions for r in records), dtype=np.int64, count=len(records)
+            ),
+        )
+        self.__dict__["_arrays"] = arrays
+        return arrays
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_arrays", None)  # decoded views are per-process, never shipped
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     @property
     def branch_count(self) -> int:

@@ -187,10 +187,19 @@ class TestCacheCommand:
             capsys, "cache", "stats", "--cache-dir", cache_dir, "--json"
         )["entries"] == 0
 
-    def test_cache_without_directory_errors(self, capsys, monkeypatch):
-        monkeypatch.delenv("REPRO_SUITE_CACHE", raising=False)
+    def test_cache_off_errors(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SUITE_CACHE", "off")
         assert main(["cache", "stats"]) == 2
         assert "no cache directory" in capsys.readouterr().err
+
+    def test_cache_stats_shows_the_resolved_default_path(self, capsys, monkeypatch, tmp_path):
+        # With REPRO_SUITE_CACHE unset the default-on directory resolves
+        # (XDG-style) and `cache stats` reports exactly where it landed.
+        monkeypatch.delenv("REPRO_SUITE_CACHE", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        stats = run_cli_json(capsys, "cache", "stats", "--json")
+        assert stats["directory"] == str(tmp_path / "repro-suite")
+        assert stats["max_bytes"] == 512 * 1024 * 1024
 
 
 class TestPythonDashM:

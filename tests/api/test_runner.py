@@ -5,7 +5,13 @@ import pickle
 import pytest
 
 from repro.api import Runner, RunnerConfig, RunRequest, active_runner, using_runner
-from repro.api.config import ENV_CACHE, ENV_CACHE_VERSION, ENV_WORKERS
+from repro.api.config import (
+    DEFAULT_CACHE_MAX_MB,
+    ENV_CACHE,
+    ENV_CACHE_VERSION,
+    ENV_WORKERS,
+    default_cache_dir,
+)
 from repro.pipeline.parallel import SuiteCache
 from repro.pipeline.simulator import simulate_suite
 from repro.predictors.registry import PredictorSpec
@@ -17,7 +23,26 @@ REF_B = "synthetic:loop?iterations=9&length=250&seed=4"
 class TestRunnerConfig:
     def test_defaults(self):
         config = RunnerConfig.from_env({})
-        assert config == RunnerConfig(workers=1, cache_dir=None, cache_version="")
+        # The cache is on by default: platform directory, bounded size.
+        assert config == RunnerConfig(
+            workers=1,
+            cache_dir=default_cache_dir({}),
+            cache_version="",
+            cache_max_mb=DEFAULT_CACHE_MAX_MB,
+        )
+
+    def test_cache_off_and_default_resolution(self, tmp_path):
+        assert RunnerConfig.from_env({ENV_CACHE: "off"}).cache_dir is None
+        assert RunnerConfig.from_env({ENV_CACHE: "none"}).cache_dir is None
+        resolved = RunnerConfig.from_env({"XDG_CACHE_HOME": str(tmp_path)})
+        assert resolved.cache_dir == str(tmp_path / "repro-suite")
+        home = RunnerConfig.from_env({"HOME": str(tmp_path)})
+        assert home.cache_dir == str(tmp_path / ".cache" / "repro-suite")
+
+    def test_cache_max_mb_default_and_unbounded(self):
+        assert RunnerConfig.from_env({}).cache_max_mb == DEFAULT_CACHE_MAX_MB
+        env = {"REPRO_SUITE_CACHE_MAX_MB": "unbounded"}
+        assert RunnerConfig.from_env(env).cache_max_mb is None
 
     def test_env_parsing(self):
         config = RunnerConfig.from_env({

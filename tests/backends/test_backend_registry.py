@@ -1,0 +1,89 @@
+"""Backend registry and predictor capability tags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    DEFAULT_BACKEND,
+    InterpBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.scenarios import UpdateScenario
+from repro.predictors import registry
+from repro.predictors.registry import PredictorSpec, backend_support
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert {"interp", "numpy"} <= set(available_backends())
+        assert DEFAULT_BACKEND == "interp"
+
+    def test_backends_are_singletons(self):
+        assert get_backend("numpy") is get_backend("numpy")
+        assert isinstance(get_backend("interp"), InterpBackend)
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            get_backend("cuda")
+
+    def test_resolve_backend(self):
+        assert resolve_backend(None).name == DEFAULT_BACKEND
+        assert resolve_backend("numpy").name == "numpy"
+        live = get_backend("numpy")
+        assert resolve_backend(live) is live
+
+    def test_register_replaces_and_resets_the_singleton(self):
+        marker = InterpBackend()
+        register_backend("test-backend", lambda: marker)
+        try:
+            assert get_backend("test-backend") is marker
+        finally:
+            # Registry hygiene: drop the throwaway entry.
+            from repro.backends import base
+
+            base._FACTORIES.pop("test-backend", None)
+            base._INSTANCES.pop("test-backend", None)
+
+
+class TestCapabilityTags:
+    def test_table_families_are_tagged_for_numpy(self):
+        assert backend_support("bimodal") == frozenset({"interp", "numpy"})
+        assert backend_support("gshare") == frozenset({"interp", "numpy"})
+
+    def test_other_kinds_are_interp_only(self):
+        for kind in ("tage", "tage-lsc", "gehl", "perceptron", "always-taken"):
+            assert backend_support(kind) == frozenset({"interp"})
+
+    def test_unknown_kind_probes_empty(self):
+        assert backend_support("not-a-kind") == frozenset()
+
+    def test_reregistering_a_kind_clears_its_tags(self):
+        """A replacement factory must never be fed to a kernel written
+        for the original implementation."""
+        original = registry._REGISTRY["gshare"]
+        original_tags = registry._BACKEND_SUPPORT["gshare"]
+        try:
+            registry.register("gshare", original, description="replaced")
+            assert backend_support("gshare") == frozenset({"interp"})
+            assert not get_backend("numpy").supports(
+                PredictorSpec("gshare", {"log2_entries": 10}),
+                UpdateScenario.IMMEDIATE,
+                PipelineConfig(),
+            )
+        finally:
+            registry._REGISTRY["gshare"] = original
+            registry._BACKEND_SUPPORT["gshare"] = original_tags
+
+    def test_interp_supports_everything(self):
+        interp = get_backend("interp")
+        config = PipelineConfig()
+        for kind in ("tage", "gshare", "bimodal", "gehl"):
+            for scenario in UpdateScenario:
+                assert interp.supports(PredictorSpec(kind), scenario, config)

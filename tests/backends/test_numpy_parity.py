@@ -1,0 +1,159 @@
+"""Numpy-backend parity: bit-identical to the staged engine, everywhere.
+
+The acceptance bar for any backend kernel (see
+:mod:`repro.backends.base`): for every supported registry kind, every
+update scenario and every trace shape — whole traces, warmup shards,
+empty measurement windows — the :class:`SimulationResult` must equal the
+interpreter's, misprediction for misprediction and access for access.
+The dataclass equality below covers the full access profile, so one
+``==`` asserts prediction bits, effective writes, retire reads and
+warmup accounting at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import get_backend
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.engine import SimulationEngine, run_with_backend
+from repro.pipeline.scenarios import UpdateScenario
+from repro.predictors.registry import PredictorSpec
+from repro.traces.sharding import plan_shards, shard_trace
+from repro.traces.suite import generate_trace
+from repro.traces.trace import Trace
+
+SUPPORTED_SPECS = {
+    "bimodal-small": PredictorSpec("bimodal", {"entries": 256}),
+    "bimodal-default": PredictorSpec("bimodal", {}),
+    "gshare-small": PredictorSpec("gshare", {"log2_entries": 10}),
+    "gshare-short-history": PredictorSpec("gshare", {"log2_entries": 12, "history_length": 5}),
+    "gshare-no-history": PredictorSpec("gshare", {"log2_entries": 8, "history_length": 0}),
+}
+
+ALL_SCENARIOS = list(UpdateScenario)
+
+
+def engine_result(spec, trace, scenario, config=None):
+    return SimulationEngine(spec.build(), scenario, config or PipelineConfig()).run(trace)
+
+
+@pytest.fixture(scope="module")
+def numpy_backend():
+    return get_backend("numpy")
+
+
+@pytest.mark.parametrize("scenario", ALL_SCENARIOS, ids=[s.value for s in ALL_SCENARIOS])
+def test_group_matches_engine_for_every_supported_spec(numpy_backend, scenario, tiny_trace):
+    """One batched group call equals N individual engine runs, bit for bit."""
+    specs = list(SUPPORTED_SPECS.values())
+    config = PipelineConfig()
+    assert all(numpy_backend.supports(spec, scenario, config) for spec in specs)
+    batched = numpy_backend.run_group(specs, tiny_trace, scenario, config)
+    for spec, result in zip(specs, batched):
+        assert result == engine_result(spec, tiny_trace, scenario, config)
+
+
+@pytest.mark.parametrize("name", sorted(SUPPORTED_SPECS))
+@pytest.mark.parametrize("scenario", ALL_SCENARIOS, ids=[s.value for s in ALL_SCENARIOS])
+def test_single_spec_parity_on_structured_traces(
+    numpy_backend, name, scenario, loop_trace, biased_trace
+):
+    spec = SUPPORTED_SPECS[name]
+    for trace in (loop_trace, biased_trace):
+        assert numpy_backend.run_one(spec, trace, scenario, PipelineConfig()) == engine_result(
+            spec, trace, scenario
+        )
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        PipelineConfig(retire_delay=1, execute_delay=0),
+        PipelineConfig(retire_delay=8, execute_delay=8),
+        PipelineConfig(retire_delay=64, execute_delay=16),
+    ],
+    ids=["tight", "execute-at-retire", "wide"],
+)
+def test_parity_across_window_shapes(numpy_backend, config, tiny_trace):
+    """Delayed-scenario parity holds for any in-flight window depth,
+    including windows longer than the trace (pure drain path)."""
+    spec = SUPPORTED_SPECS["gshare-small"]
+    short = Trace(name="short", records=tiny_trace.records[:40])
+    for scenario in (UpdateScenario.REREAD_AT_RETIRE, UpdateScenario.REREAD_ON_MISPREDICTION):
+        assert numpy_backend.run_one(spec, tiny_trace, scenario, config) == engine_result(
+            spec, tiny_trace, scenario, config
+        )
+        assert numpy_backend.run_one(spec, short, scenario, config) == engine_result(
+            spec, short, scenario, config
+        )
+
+
+@pytest.mark.parametrize("scenario", ALL_SCENARIOS, ids=[s.value for s in ALL_SCENARIOS])
+def test_warmup_shard_parity(numpy_backend, scenario):
+    """Shards replay their warmup prefix unaccounted, exactly like the engine."""
+    trace = generate_trace("MM01", branches_per_trace=3000, seed=17)
+    specs = [SUPPORTED_SPECS["bimodal-small"], SUPPORTED_SPECS["gshare-short-history"]]
+    for window in plan_shards(len(trace), 3, warmup=400):
+        shard = shard_trace(trace, window)
+        for spec, result in zip(
+            specs, numpy_backend.run_group(specs, shard, scenario, PipelineConfig())
+        ):
+            assert result == engine_result(spec, shard, scenario)
+            assert result.warmup_branches == shard.warmup_count
+            assert result.window == shard.window
+
+
+def test_all_warmup_and_empty_traces(numpy_backend):
+    """Degenerate measurement windows: nothing measured, nothing counted."""
+    spec = SUPPORTED_SPECS["gshare-small"]
+    trace = generate_trace("INT02", branches_per_trace=300, seed=3)
+    all_warmup = Trace(
+        name="warmup-only", records=list(trace.records), warmup_count=len(trace.records)
+    )
+    empty = Trace(name="empty")
+    for scenario in (UpdateScenario.IMMEDIATE, UpdateScenario.REREAD_AT_RETIRE):
+        for degenerate in (all_warmup, empty):
+            assert numpy_backend.run_one(
+                spec, degenerate, scenario, PipelineConfig()
+            ) == engine_result(spec, degenerate, scenario)
+
+
+def test_unsupported_specs_are_declined(numpy_backend):
+    """Shared-hysteresis bimodal, unknown keys and other kinds stay on interp."""
+    config = PipelineConfig()
+    scenario = UpdateScenario.IMMEDIATE
+    declined = [
+        PredictorSpec("bimodal", {"entries": 256, "hysteresis_sharing": 4}),
+        PredictorSpec("bimodal", {"entries": 300}),  # not a power of two
+        PredictorSpec("bimodal", {"bogus": 1}),
+        PredictorSpec("gshare", {"log2_entries": 30}),
+        PredictorSpec("tage"),
+        PredictorSpec("tage-lsc"),
+        PredictorSpec("not-registered"),
+    ]
+    for spec in declined:
+        assert not numpy_backend.supports(spec, scenario, config)
+
+
+def test_run_with_backend_falls_back_transparently(tiny_trace):
+    """The engine dispatch hook runs unsupported kinds on the interpreter."""
+    spec = PredictorSpec("bimodal", {"entries": 128, "hysteresis_sharing": 4})
+    via_hook = run_with_backend(spec, tiny_trace, backend="numpy")
+    assert via_hook == engine_result(spec, tiny_trace, UpdateScenario.IMMEDIATE)
+
+    supported = SUPPORTED_SPECS["gshare-small"]
+    assert run_with_backend(supported, tiny_trace, backend="numpy") == engine_result(
+        supported, tiny_trace, UpdateScenario.IMMEDIATE
+    )
+
+
+def test_shared_decode_is_cached_on_the_trace(numpy_backend, tiny_trace):
+    """run_group decodes once; the cached view survives for the next call."""
+    first = tiny_trace.arrays()
+    assert tiny_trace.arrays() is first
+    numpy_backend.run_group(
+        [SUPPORTED_SPECS["gshare-small"]], tiny_trace, UpdateScenario.IMMEDIATE, PipelineConfig()
+    )
+    assert tiny_trace.arrays() is first
+    assert len(first) == len(tiny_trace.records)

@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# The result cache is on by default (REPRO_SUITE_CACHE unset resolves a
+# real user-cache directory).  Tests must never write there — nor have
+# their timing/behaviour depend on a developer's warm cache — so the
+# whole suite (subprocess CLI tests included, they inherit the env) runs
+# with caching off unless a test opts in explicitly.
+os.environ.setdefault("REPRO_SUITE_CACHE", "off")
 
 from repro.traces.suite import generate_suite, generate_trace
 from repro.traces.synthetic import (

@@ -75,9 +75,11 @@ class TestConfigPlumbing:
         assert config.cache_max_bytes == int(1.5 * 1024 * 1024)
 
     def test_invalid_env_values_raise(self):
-        for bogus in ("lots", "0", "-3"):
+        for bogus in ("lots", "-3"):
             with pytest.raises(ValueError, match=ENV_CACHE_MAX_MB):
                 RunnerConfig.from_env({ENV_CACHE_MAX_MB: bogus})
+        # "0"/"unbounded" are not errors: they lift the default bound.
+        assert RunnerConfig.from_env({ENV_CACHE_MAX_MB: "0"}).cache_max_mb is None
 
     def test_constructor_validation(self):
         with pytest.raises(ValueError, match="cache_max_mb"):
@@ -118,9 +120,14 @@ class TestCacheCLI:
         assert payload["removed"] == 1
         assert _entry_names(tmp_path) == {"bb", "cc"}
 
-    def test_cache_prune_without_bound_is_an_error(self, tmp_path, capsys):
+    def test_cache_prune_without_bound_is_an_error(self, tmp_path, capsys, monkeypatch):
         from repro.api.cli import main
 
+        # A bare prune inherits the default bound; the error only arises
+        # when the operator has explicitly unbounded the cache.
+        monkeypatch.setenv("REPRO_SUITE_CACHE_MAX_MB", "unbounded")
         code = main(["cache", "prune", "--cache-dir", str(tmp_path)])
         assert code == 2
         assert "size bound" in capsys.readouterr().err
+        monkeypatch.delenv("REPRO_SUITE_CACHE_MAX_MB")
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 0
