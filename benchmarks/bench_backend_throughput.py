@@ -1,13 +1,16 @@
 """Backend throughput: numpy batch kernels vs the per-branch interp loop.
 
-A fig9-style configuration sweep (table sizes across the gshare and
-bimodal families) over one trace — exactly the workload the ``numpy``
-backend batches: decode the trace once, then run every variant off the
-same arrays.  Parity is asserted bit for bit before any timing claim;
-the measured speedup is recorded in the benchmark JSON ``extra_info``
-(and so lands in the CI ``BENCH_*.json`` artifacts).
+Fig9-style configuration sweeps (table sizes across the gshare/bimodal
+families, row/entry counts across the perceptron/GEHL families) over one
+trace, a TAGE stream-pipeline group, and a fig10-style suite run where
+one ``run_tasks`` call spans every trace — the two batch axes the
+``numpy`` backend stacks: decode each trace once, then run every
+(configuration, trace) lane off the same arrays.  Parity is asserted bit
+for bit before any timing claim; the measured speedup is recorded in the
+benchmark JSON ``extra_info`` (and so lands in the CI ``BENCH_*.json``
+artifacts).
 
-The sweep uses at least :data:`MIN_BRANCHES` branches however small
+The sweeps use at least :data:`MIN_BRANCHES` branches however small
 ``REPRO_BENCH_BRANCHES`` is: sub-millisecond interp times would make the
 speedup ratio noise instead of a measurement.
 """
@@ -22,7 +25,7 @@ from repro.pipeline.config import PipelineConfig
 from repro.pipeline.engine import SimulationEngine
 from repro.pipeline.scenarios import UpdateScenario
 from repro.predictors.registry import PredictorSpec
-from repro.traces.suite import generate_trace
+from repro.traces.suite import generate_suite, generate_trace
 
 MIN_BRANCHES = 4_000
 
@@ -31,6 +34,38 @@ SWEEP_SPECS = [
     PredictorSpec("gshare", {"log2_entries": n}) for n in range(8, 14)
 ] + [PredictorSpec("bimodal", {"entries": 1 << n}) for n in range(8, 14)]
 
+#: The neural fig9-style axis: perceptron row counts and GEHL table sizes.
+NEURAL_SPECS = [
+    PredictorSpec("perceptron", {"log2_rows": n}) for n in range(7, 13)
+] + [
+    PredictorSpec(
+        "gehl",
+        {
+            "num_tables": 6,
+            "log2_entries": n,
+            "counter_bits": 5,
+            "min_history": 2,
+            "max_history": 120,
+        },
+    )
+    for n in range(7, 13)
+]
+
+#: The TAGE group: the reference configuration plus a generated variant.
+TAGE_SPECS = [
+    PredictorSpec("tage"),
+    PredictorSpec(
+        "tage",
+        {
+            "num_tagged_tables": 6,
+            "min_history": 4,
+            "max_history": 300,
+            "base_log2_entries": 9,
+            "bimodal_log2_entries": 11,
+        },
+    ),
+]
+
 
 def _sweep_trace():
     return generate_trace(
@@ -38,40 +73,44 @@ def _sweep_trace():
     )
 
 
-def _interp_sweep(trace, scenario, config):
-    return [
-        SimulationEngine(spec.build(), scenario, config).run(trace) for spec in SWEEP_SPECS
-    ]
-
-
-def _record(benchmark, trace, scenario, config, minimum_speedup):
+def _record_tasks(benchmark, tasks, scenario, config, minimum_speedup, label):
+    """Time the interp loop vs one batched ``run_tasks`` call over ``tasks``."""
     backend = get_backend("numpy")
-    trace.arrays()  # decode outside both timings: shared, one-off work
+    for _, trace in tasks:
+        trace.arrays()  # decode outside both timings: shared, one-off work
 
     start = time.perf_counter()
-    interp_results = _interp_sweep(trace, scenario, config)
+    interp_results = [
+        SimulationEngine(spec.build(), scenario, config).run(trace) for spec, trace in tasks
+    ]
     interp_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    batched = backend.run_group(SWEEP_SPECS, trace, scenario, config)
+    batched = backend.run_tasks(tasks, scenario, config)
     numpy_seconds = time.perf_counter() - start
     assert batched == interp_results  # parity before any speed claim
 
     speedup = interp_seconds / numpy_seconds
-    benchmark.extra_info["configs"] = len(SWEEP_SPECS)
-    benchmark.extra_info["branches"] = len(trace)
+    branches = sum(len(trace) for _, trace in tasks)
+    benchmark.extra_info["configs"] = len(tasks)
+    benchmark.extra_info["branches"] = branches
     benchmark.extra_info["interp_seconds"] = round(interp_seconds, 4)
     benchmark.extra_info["numpy_seconds"] = round(numpy_seconds, 4)
     benchmark.extra_info["speedup"] = round(speedup, 2)
     print(
-        f"\n{scenario.label} sweep of {len(SWEEP_SPECS)} configs x {len(trace)} branches: "
+        f"\n{scenario.label} {label} of {len(tasks)} lanes / {branches} branches: "
         f"interp {interp_seconds:.3f}s, numpy {numpy_seconds:.3f}s, {speedup:.1f}x"
     )
-    run_once(benchmark, lambda: backend.run_group(SWEEP_SPECS, trace, scenario, config))
+    run_once(benchmark, lambda: backend.run_tasks(tasks, scenario, config))
     assert speedup >= minimum_speedup, (
         f"numpy backend only {speedup:.2f}x over the per-branch loop "
-        f"(expected >= {minimum_speedup}x on a {len(SWEEP_SPECS)}-config sweep)"
+        f"(expected >= {minimum_speedup}x on a {len(tasks)}-lane {label})"
     )
+
+
+def _record(benchmark, trace, scenario, config, minimum_speedup, specs=SWEEP_SPECS):
+    tasks = [(spec, trace) for spec in specs]
+    _record_tasks(benchmark, tasks, scenario, config, minimum_speedup, "sweep")
 
 
 def test_bench_backend_immediate_sweep(benchmark):
@@ -84,3 +123,61 @@ def test_bench_backend_delayed_lockstep(benchmark):
     """Scenario [C]: the lockstep kernel batches the sweep into one pass."""
     _record(benchmark, _sweep_trace(), UpdateScenario.REREAD_ON_MISPREDICTION,
             BENCH_PIPELINE, minimum_speedup=2.0)
+
+
+def test_bench_backend_neural_sweep(benchmark):
+    """Fig9-style neural sweep: perceptron/GEHL lockstep kernels (>= 3x).
+
+    The interp loop pays a per-branch Python dot product per lane; the
+    lockstep kernel amortises one set of array ops across all 12 lanes.
+    """
+    _record(benchmark, _sweep_trace(), UpdateScenario.IMMEDIATE, PipelineConfig(),
+            minimum_speedup=3.0, specs=NEURAL_SPECS)
+
+
+def test_bench_backend_neural_delayed(benchmark):
+    """Neural sweep under delayed updates [C]: same lockstep loop (>= 3x)."""
+    _record(benchmark, _sweep_trace(), UpdateScenario.REREAD_ON_MISPREDICTION,
+            BENCH_PIPELINE, minimum_speedup=3.0, specs=NEURAL_SPECS)
+
+
+def test_bench_backend_tage_streams(benchmark):
+    """TAGE through the folded-stream pipeline.
+
+    The win is narrower than the pure-kernel families — allocation and
+    provider selection stay on the real predictor — so the assert is
+    conservative: the precomputed index/tag streams must still beat the
+    per-branch fold bookkeeping.
+    """
+    _record(benchmark, _sweep_trace(), UpdateScenario.IMMEDIATE, PipelineConfig(),
+            minimum_speedup=1.3, specs=TAGE_SPECS)
+
+
+def test_bench_backend_multi_trace_batch(benchmark):
+    """Fig10-style suite run: one ``run_tasks`` call spans every trace (>= 2x).
+
+    Lanes are (configuration, trace) pairs — the suite's traces are padded
+    to the longest and masked, so a whole scenario bucket runs as one
+    batched call instead of one kernel invocation per trace.
+    """
+    suite = generate_suite(
+        traces_per_category=1,
+        branches_per_trace=max(BENCH_BRANCHES, MIN_BRANCHES),
+        seed=BENCH_SEED,
+    )
+    specs = [
+        PredictorSpec("perceptron", {"log2_rows": 9}),
+        PredictorSpec(
+            "gehl",
+            {
+                "num_tables": 6,
+                "log2_entries": 9,
+                "counter_bits": 5,
+                "min_history": 2,
+                "max_history": 120,
+            },
+        ),
+    ]
+    tasks = [(spec, trace) for spec in specs for trace in suite]
+    _record_tasks(benchmark, tasks, UpdateScenario.REREAD_AT_RETIRE, BENCH_PIPELINE,
+                  minimum_speedup=2.0, label="suite batch")

@@ -44,7 +44,7 @@ from repro.api.results import suite_payload
 from repro.api.runner import Runner, using_runner
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.parallel import SuiteCache
-from repro.predictors.registry import PredictorSpec, describe
+from repro.predictors.registry import PredictorSpec, backend_support, describe
 from repro.traces.refs import parse_trace_ref, trace_ref_catalogue
 from repro.traces.sharding import DEFAULT_WARMUP, SHARD_MODES, ShardingPolicy
 
@@ -331,11 +331,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     if args.what == "predictors":
-        rows = [[kind, description] for kind, description in describe()]
+        rows = [
+            [kind, ", ".join(sorted(backend_support(kind))), description]
+            for kind, description in describe()
+        ]
         if args.json:
-            _print_json([{"kind": kind, "description": text} for kind, text in rows])
+            _print_json([
+                {"kind": kind, "backends": backends.split(", "), "description": text}
+                for kind, backends, text in rows
+            ])
         else:
-            print(_format_table(["kind", "description"], rows))
+            print(_format_table(["kind", "backends", "description"], rows))
     elif args.what == "traces":
         rows = trace_ref_catalogue()
         if args.json:

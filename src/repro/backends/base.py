@@ -97,12 +97,55 @@ class Backend(ABC):
         """Execute a single spec (the degenerate one-element group)."""
         return self.run_group([spec], trace, scenario, config)[0]
 
-    def min_group_size(self, scenario: "UpdateScenario", config: "PipelineConfig") -> int:
+    def run_tasks(
+        self,
+        tasks: Sequence["tuple[PredictorSpec, Trace]"],
+        scenario: "UpdateScenario",
+        config: "PipelineConfig",
+    ) -> list["SimulationResult"]:
+        """Execute (spec, trace) pairs; results in task order.
+
+        The trace-batched entry point: one call may span several traces
+        when :meth:`batches_traces` says so, letting a backend stack the
+        trace axis into its kernels (fig10-shaped suite runs).  The
+        default groups tasks by trace and delegates to :meth:`run_group`,
+        so single-trace backends need not override it.
+        """
+        results: list["SimulationResult | None"] = [None] * len(tasks)
+        groups: dict[int, tuple["Trace", list[int]]] = {}
+        for position, (spec, trace) in enumerate(tasks):
+            groups.setdefault(id(trace), (trace, []))[1].append(position)
+        for trace, positions in groups.values():
+            specs = [tasks[position][0] for position in positions]
+            for position, result in zip(
+                positions, self.run_group(specs, trace, scenario, config)
+            ):
+                results[position] = result
+        return results
+
+    def batches_traces(self, scenario: "UpdateScenario", config: "PipelineConfig") -> bool:
+        """Whether one kernel group may mix traces (see :meth:`run_tasks`).
+
+        Schedulers drop the trace from the grouping key when this is
+        true, so one batched call covers a whole (scenario, config) bucket
+        regardless of how many traces it spans.
+        """
+        return False
+
+    def min_group_size(
+        self,
+        specs: Sequence["PredictorSpec"],
+        scenario: "UpdateScenario",
+        config: "PipelineConfig",
+    ) -> int:
         """Smallest group for which this backend beats the interp pool path.
 
-        Schedulers route supported groups below this size to the
-        interpreter instead (results are identical either way; this is
-        purely the throughput contract).  1 means "always profitable".
+        ``specs`` are the group's members, so the answer can depend on the
+        kernel families involved (a time-vectorised scan wins alone; a
+        lockstep loop needs lanes to amortise over).  Schedulers route
+        supported groups below this size to the interpreter instead
+        (results are identical either way; this is purely the throughput
+        contract).  1 means "always profitable".
         """
         return 1
 

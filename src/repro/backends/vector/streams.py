@@ -1,0 +1,194 @@
+"""Precomputed per-branch streams shared by the numpy kernels.
+
+Trace-driven simulation updates every history structure with *resolved*
+outcomes, so each one is a pure function of the trace prefix — its whole
+per-branch value stream can be computed up front with array passes:
+
+* **packed history / path windows** (:func:`pack_stream`): a sliding
+  window of the most recent bits packed into an integer, exactly what
+  :meth:`~repro.histories.global_history.GlobalHistoryRegister.value`
+  and :class:`~repro.histories.global_history.PathHistory` hold.  One
+  convolution per window width.
+* **folded (CSR) histories** (:func:`folded_stream`): the incremental
+  fold recurrence of :class:`~repro.histories.folded.FoldedHistory` is
+  XOR-linear, so bit ``p`` of the fold before branch ``t`` is the XOR of
+  the outcome bits at ages ``p, p + clen, p + 2*clen, ...`` inside the
+  window.  Strided prefix-XOR arrays turn each of those sums into two
+  lookups, giving the fold stream of every (history length, compressed
+  length) pair in ``O(clen * T)``.
+* **chunked XOR folds** (:func:`fold_bits_stream`): the vectorised twin
+  of :func:`repro.common.bits.fold_bits`, used for the TAGE path-history
+  mix.
+
+A :class:`StreamCache` memoises the streams per trace within one backend
+call, so a fig9-style sweep shares one fold pass per distinct (length,
+width) pair however many configuration variants read it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.bits import mask
+from repro.hardware.access_counter import AccessProfile
+from repro.traces.trace import Trace, TraceArrays
+
+__all__ = [
+    "StreamCache",
+    "TraceStreams",
+    "fold_bits_stream",
+    "folded_stream",
+    "make_profile",
+    "pack_stream",
+    "plain_int",
+]
+
+
+def plain_int(value) -> int | None:
+    """``value`` as an int, or None (bools are not ints here)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        return None
+    return value
+
+
+def make_profile(
+    measured: int,
+    mispredictions: int,
+    retire_reads: int,
+    entry_reads: int,
+    writes: int,
+    write_accesses: int | None = None,
+) -> AccessProfile:
+    """An :class:`AccessProfile` over the measured region of one lane.
+
+    ``writes`` is the effective entry-write count; single-table kernels
+    leave ``write_accesses`` implied (one entry per branch, so they are
+    equal), multi-table kernels pass the branch-level count separately.
+    """
+    return AccessProfile(
+        branches=measured,
+        mispredictions=mispredictions,
+        fetch_reads=measured,
+        retire_reads=retire_reads,
+        entry_writes=writes,
+        write_accesses=writes if write_accesses is None else write_accesses,
+        entry_reads=entry_reads,
+        allocations=0,
+    )
+
+
+def pack_stream(bits: np.ndarray, width: int) -> np.ndarray:
+    """Packed sliding window of ``bits`` before each branch.
+
+    ``out[t]`` holds ``bits[t-1 .. t-width]`` with the most recent in bit
+    position 0 — the value a shift register fed one bit per branch shows
+    when branch ``t`` predicts (missing early history reads as 0, like
+    the zeroed power-on buffer).
+    """
+    total = bits.size
+    values = np.zeros(total, dtype=np.int64)
+    if width == 0 or total < 2:
+        return values
+    weights = np.int64(1) << np.arange(width, dtype=np.int64)
+    # convolve[k] = sum_i bits[k-i] * 2**i, so out[t] = convolve[t-1].
+    values[1:] = np.convolve(bits, weights)[: total - 1]
+    return values
+
+
+def folded_stream(outcomes: np.ndarray, history_length: int, compressed_length: int) -> np.ndarray:
+    """The :class:`~repro.histories.folded.FoldedHistory` value before each branch.
+
+    ``out[t]`` equals the CSR state after feeding ``outcomes[:t]`` through
+    the incremental update — equivalently ``recompute`` over the last
+    ``min(history_length, t)`` outcomes: bit ``p`` of the fold is the XOR
+    of the outcome bits at ages ``p mod clen`` inside the window.  Each
+    residue class is a strided prefix-XOR, so every bit position costs
+    two gathers over the precomputed prefix array.
+    """
+    total = outcomes.size
+    out = np.zeros(total, dtype=np.int64)
+    if total == 0:
+        return out
+    clen = compressed_length
+    bits = outcomes.astype(np.int64)
+    prefix = np.empty(total, dtype=np.int64)
+    for residue in range(min(clen, total)):
+        prefix[residue::clen] = np.bitwise_xor.accumulate(bits[residue::clen])
+    steps = np.arange(total, dtype=np.int64)
+    for position in range(min(clen, history_length)):
+        newest = steps - 1 - position  # age `position` before branch t
+        live = newest >= 0
+        anchored = np.where(live, newest, 0)
+        # Number of window terms at this bit position: capped by the
+        # history length and by how many branches have resolved so far.
+        in_window = (history_length - 1 - position) // clen + 1
+        available = anchored // clen + 1
+        terms = np.minimum(in_window, available)
+        oldest = anchored - terms * clen
+        span = prefix[anchored] ^ np.where(oldest >= 0, prefix[np.maximum(oldest, 0)], 0)
+        out |= np.where(live, span, 0) << position
+    return out
+
+
+def fold_bits_stream(values: np.ndarray, input_width: int, output_width: int) -> np.ndarray:
+    """Vectorised :func:`repro.common.bits.fold_bits` over a value stream.
+
+    Callers pass ``values`` already masked to ``input_width`` bits.
+    """
+    folded = np.zeros_like(values)
+    chunk = np.int64(mask(output_width))
+    shift = 0
+    while shift < input_width:
+        folded ^= (values >> shift) & chunk
+        shift += output_width
+    return folded
+
+
+class TraceStreams:
+    """Decoded arrays plus memoised derived streams for one trace."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self.arrays: TraceArrays = trace.arrays()
+        self.outcomes = self.arrays.taken.astype(np.int64)
+        self._history_packs: dict[int, np.ndarray] = {}
+        self._pc_packs: dict[int, np.ndarray] = {}
+        self._folds: dict[tuple[int, int], np.ndarray] = {}
+
+    def history_pack(self, length: int) -> np.ndarray:
+        """Packed global-history window of ``length`` outcome bits."""
+        pack = self._history_packs.get(length)
+        if pack is None:
+            pack = self._history_packs[length] = pack_stream(self.outcomes, length)
+        return pack
+
+    def path_pack(self, width: int) -> np.ndarray:
+        """Packed path history of one low-order PC bit per branch."""
+        pack = self._pc_packs.get(width)
+        if pack is None:
+            low_bits = (self.arrays.pcs & 1).astype(np.int64)
+            pack = self._pc_packs[width] = pack_stream(low_bits, width)
+        return pack
+
+    def fold(self, history_length: int, compressed_length: int) -> np.ndarray:
+        """Folded-history stream for one (length, width) pair."""
+        key = (history_length, compressed_length)
+        fold = self._folds.get(key)
+        if fold is None:
+            fold = self._folds[key] = folded_stream(
+                self.outcomes, history_length, compressed_length
+            )
+        return fold
+
+
+class StreamCache:
+    """Per-call memo of :class:`TraceStreams`, keyed by trace identity."""
+
+    def __init__(self) -> None:
+        self._streams: dict[int, TraceStreams] = {}
+
+    def for_trace(self, trace: Trace) -> TraceStreams:
+        streams = self._streams.get(id(trace))
+        if streams is None:
+            streams = self._streams[id(trace)] = TraceStreams(trace)
+        return streams

@@ -636,7 +636,13 @@ def run_scheduled(
         spec, trace, scenario, config = task
         chosen = _resolve_selection(selections[unique_positions[index][0]])
         if chosen is not None and chosen.supports(spec, scenario, config):
-            batch_key = (chosen.name, id(trace), scenario, config)
+            # Backends that batch the trace axis pool every trace of a
+            # (scenario, config) bucket into one kernel call; the rest
+            # group per trace as before.
+            if chosen.batches_traces(scenario, config):
+                batch_key = (chosen.name, None, scenario, config)
+            else:
+                batch_key = (chosen.name, id(trace), scenario, config)
             kernel_groups.setdefault(batch_key, []).append(index)
             kernel_backends[batch_key] = chosen
         else:
@@ -647,8 +653,9 @@ def run_scheduled(
     for batch_key in list(kernel_groups):
         chosen = kernel_backends[batch_key]
         indices = kernel_groups[batch_key]
+        specs = [unique_tasks[index][0] for index in indices]
         _, _, scenario, config = unique_tasks[indices[0]]
-        if len(indices) < chosen.min_group_size(scenario, config):
+        if len(indices) < chosen.min_group_size(specs, scenario, config):
             interp_indices.extend(kernel_groups.pop(batch_key))
             kernel_backends.pop(batch_key)
     interp_indices.sort()
@@ -658,10 +665,10 @@ def run_scheduled(
     def run_kernel_groups() -> None:
         for batch_key, indices in kernel_groups.items():
             chosen = kernel_backends[batch_key]
-            specs = [unique_tasks[index][0] for index in indices]
-            _, trace, scenario, config = unique_tasks[indices[0]]
+            pairs = [(unique_tasks[index][0], unique_tasks[index][1]) for index in indices]
+            _, _, scenario, config = unique_tasks[indices[0]]
             for index, result in zip(
-                indices, chosen.run_group(specs, trace, scenario, config)
+                indices, chosen.run_tasks(pairs, scenario, config)
             ):
                 fresh[index] = result
 

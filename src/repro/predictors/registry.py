@@ -240,14 +240,22 @@ def _gshare(**config: Any) -> Predictor:
     return GSharePredictor(**config)
 
 
-@register("perceptron", description="the original neural predictor (Jimenez & Lin)")
+@register(
+    "perceptron",
+    description="the original neural predictor (Jimenez & Lin)",
+    backends=("numpy",),
+)
 def _perceptron(**config: Any) -> Predictor:
     from repro.predictors.perceptron import PerceptronPredictor
 
     return PerceptronPredictor(**config)
 
 
-@register("gehl", description="GEometric History Length predictor (Section 4 baseline)")
+@register(
+    "gehl",
+    description="GEometric History Length predictor (Section 4 baseline)",
+    backends=("numpy",),
+)
 def _gehl(**config: Any) -> Predictor:
     from repro.predictors.gehl import GEHLConfig, GEHLPredictor
 
@@ -272,7 +280,11 @@ def _ftl(**config: Any) -> Predictor:
     return FTLPredictor()
 
 
-@register("tage", description="the reference TAGE predictor (Section 3)")
+@register(
+    "tage",
+    description="the reference TAGE predictor (Section 3)",
+    backends=("numpy",),
+)
 def _tage(**config: Any) -> Predictor:
     from repro.core.config import TAGEConfig
     from repro.core.tage import TAGEPredictor

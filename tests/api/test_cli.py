@@ -29,6 +29,18 @@ class TestListCommands:
         payload = run_cli_json(capsys, "list", "predictors", "--json")
         kinds = {entry["kind"] for entry in payload}
         assert {"tage", "tage-lsc", "gshare", "isl-tage"} <= kinds
+        backends = {entry["kind"]: entry["backends"] for entry in payload}
+        assert backends["tage"] == ["interp", "numpy"]
+        assert backends["gehl"] == ["interp", "numpy"]
+        assert backends["tage-lsc"] == ["interp"]
+
+    def test_list_predictors_table_has_backends_column(self, capsys):
+        code, out = run_cli(capsys, "list", "predictors")
+        assert code == 0
+        header, *lines = out.splitlines()
+        assert "backends" in header
+        perceptron = next(line for line in lines if line.startswith("perceptron "))
+        assert "interp, numpy" in perceptron
 
     def test_list_traces_json(self, capsys):
         payload = run_cli_json(capsys, "list", "traces", "--json")

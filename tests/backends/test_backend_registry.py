@@ -53,12 +53,12 @@ class TestRegistry:
 
 
 class TestCapabilityTags:
-    def test_table_families_are_tagged_for_numpy(self):
-        assert backend_support("bimodal") == frozenset({"interp", "numpy"})
-        assert backend_support("gshare") == frozenset({"interp", "numpy"})
+    def test_kernelised_families_are_tagged_for_numpy(self):
+        for kind in ("bimodal", "gshare", "perceptron", "gehl", "tage"):
+            assert backend_support(kind) == frozenset({"interp", "numpy"})
 
     def test_other_kinds_are_interp_only(self):
-        for kind in ("tage", "tage-lsc", "gehl", "perceptron", "always-taken"):
+        for kind in ("tage-lsc", "l-tage", "isl-tage", "snap", "ftl", "always-taken"):
             assert backend_support(kind) == frozenset({"interp"})
 
     def test_unknown_kind_probes_empty(self):

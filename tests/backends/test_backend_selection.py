@@ -101,7 +101,7 @@ class TestSchedulerRouting:
         tasks = [
             (PredictorSpec("gshare", {"log2_entries": 10}), trace,
              UpdateScenario.IMMEDIATE, PipelineConfig()),
-            (PredictorSpec("gehl"), trace, UpdateScenario.IMMEDIATE, PipelineConfig()),
+            (PredictorSpec("tage-lsc"), trace, UpdateScenario.IMMEDIATE, PipelineConfig()),
         ]
         via_numpy = run_simulations(tasks, max_workers=1, backend="numpy")
         via_interp = run_simulations(tasks, max_workers=1)
@@ -116,8 +116,12 @@ class TestSchedulerRouting:
         from repro.pipeline.config import PipelineConfig as PC
 
         backend = get_backend("numpy")
-        assert backend.min_group_size(UpdateScenario.IMMEDIATE, PC()) == 1
-        assert backend.min_group_size(UpdateScenario.REREAD_AT_RETIRE, PC()) == 2
+        gshare = [PredictorSpec("gshare", {"log2_entries": 10})]
+        assert backend.min_group_size(gshare, UpdateScenario.IMMEDIATE, PC()) == 1
+        assert backend.min_group_size(gshare, UpdateScenario.REREAD_AT_RETIRE, PC()) == 2
+        # TAGE's stream pipeline wins alone, so it keeps singleton groups.
+        tage = [PredictorSpec("tage")]
+        assert backend.min_group_size(tage, UpdateScenario.REREAD_AT_RETIRE, PC()) == 1
 
         spec = PredictorSpec("gshare", {"log2_entries": 10})
         delayed_trace = generate_trace("CLIENT01", branches_per_trace=300, seed=9)
@@ -149,7 +153,8 @@ class TestRunnerEndToEnd:
         requests = [
             RunRequest("gshare", TINY, scenario="C"),
             RunRequest("bimodal", TINY),
-            RunRequest("tage", TINY),  # interp-only: transparent fallback
+            RunRequest("tage", TINY),  # TAGE stream kernel path
+            RunRequest("tage-lsc", TINY),  # interp-only: transparent fallback
         ]
         baseline = Runner().run_batch(requests)
         numeric = Runner(RunnerConfig(backend="numpy")).run_batch(requests)

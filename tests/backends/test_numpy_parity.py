@@ -128,7 +128,9 @@ def test_unsupported_specs_are_declined(numpy_backend):
         PredictorSpec("bimodal", {"entries": 300}),  # not a power of two
         PredictorSpec("bimodal", {"bogus": 1}),
         PredictorSpec("gshare", {"log2_entries": 30}),
-        PredictorSpec("tage"),
+        PredictorSpec("perceptron", {"bogus": 1}),
+        PredictorSpec("gehl", {"num_tables": 0}),
+        PredictorSpec("tage", {"config": object(), "num_tagged_tables": 4}),
         PredictorSpec("tage-lsc"),
         PredictorSpec("not-registered"),
     ]
