@@ -13,6 +13,9 @@ references and the named experiments)::
     repro list predictors|traces|experiments
     repro cache stats|clear|prune
     repro serve --port 8321 --workers auto
+    repro serve --broker /shared/broker --store-dir /shared/results
+    repro worker --broker /shared/broker --workers 4
+    repro fleet --url http://127.0.0.1:8321
     repro submit tage --url http://127.0.0.1:8321 --trace hard:MM05 --json
     repro cancel job-3-0a1b2c3d --url http://127.0.0.1:8321
 
@@ -401,24 +404,149 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_drain_handlers(stop: "threading.Event") -> None:
+    """SIGTERM/SIGINT set the drain flag instead of killing the process.
+
+    Signal handlers only install from the main thread; tests driving the
+    commands from worker threads simply keep the default behavior.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _drain(signum: int, frame: Any) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+
+
+def _broker_spec(args: argparse.Namespace) -> str | None:
+    return getattr(args, "broker", None) or os.environ.get("REPRO_BROKER") or None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
     from repro.service import DiskResultStore, SimulationService, make_server
 
     store = DiskResultStore(args.store_dir) if args.store_dir else None
-    runner = Runner(_runner_config(args), persistent=True)
-    service = SimulationService(runner=runner, store=store, queue_size=args.queue_size)
-    server = make_server(service, host=args.host, port=args.port, quiet=not args.verbose)
-    with service:
+    spec = _broker_spec(args)
+    if spec:
+        from repro.distrib import connect_broker
+
+        broker = connect_broker(spec)
+        service = SimulationService(store=store, queue_size=args.queue_size,
+                                    broker=broker)
+        mode = f"broker={broker.describe()}"
+    else:
+        runner = Runner(_runner_config(args), persistent=True)
+        service = SimulationService(runner=runner, store=store,
+                                    queue_size=args.queue_size)
         workers = runner.config.workers
+        mode = f"workers={'auto' if workers is None else workers}"
+    server = make_server(service, host=args.host, port=args.port, quiet=not args.verbose)
+    stop = threading.Event()
+    _install_drain_handlers(stop)
+    with service:
         print(f"repro service listening on {server.url} "
-              f"(workers={'auto' if workers is None else workers}, "
-              f"queue={args.queue_size})", flush=True)
+              f"({mode}, queue={args.queue_size})", flush=True)
+        # serve_forever runs on a helper thread so the main thread can
+        # take SIGTERM/SIGINT and drain gracefully: stop accepting,
+        # finish in-flight jobs (service.close inside the with-exit),
+        # then return.
+        pump = threading.Thread(target=server.serve_forever,
+                                name="repro-serve-http", daemon=True)
+        pump.start()
         try:
-            server.serve_forever()
+            stop.wait()
         except KeyboardInterrupt:
-            print("shutting down", flush=True)
+            pass  # no handler installed (non-main thread): same drain path
+        print("draining: finishing in-flight jobs, then exiting", flush=True)
+        server.shutdown()
+        pump.join()
+        server.server_close()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distrib import FleetWorker, connect_broker
+
+    spec = _broker_spec(args)
+    if not spec:
+        raise CLIError("worker: --broker (or REPRO_BROKER) is required")
+    policy: dict[str, Any] = {}
+    if args.visibility is not None:
+        policy["visibility"] = args.visibility
+    broker = connect_broker(spec, **policy)
+    runner = Runner(_runner_config(args), persistent=True)
+    worker = FleetWorker(broker, runner=runner, worker_id=args.id,
+                         poll_interval=args.poll)
+
+    class _Drain:
+        """Event-shaped adapter: a signal drains the worker loop."""
+
+        @staticmethod
+        def set() -> None:
+            worker.request_stop()
+
+    _install_drain_handlers(_Drain())  # type: ignore[arg-type]
+    print(f"repro worker {worker.worker_id} leasing from {broker.describe()} "
+          f"(poll={worker.poll_interval}s, visibility={broker.visibility}s)",
+          flush=True)
+    try:
+        processed = worker.run(max_jobs=args.max_jobs)
+    finally:
+        broker.close()
+    print(f"worker {worker.worker_id}: processed {processed} job(s)", flush=True)
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.broker:
+        from repro.distrib import connect_broker
+
+        broker = connect_broker(args.broker)
+        try:
+            fleet = broker.stats()
         finally:
-            server.server_close()
+            broker.close()
+    else:
+        from repro.service import ServiceClient, ServiceClientError
+
+        try:
+            fleet = ServiceClient(args.url).fleet()
+        except ServiceClientError as error:
+            raise CLIError(f"fleet: {error}") from None
+    if args.json:
+        _print_json(fleet)
+        return 0
+    jobs = fleet.get("jobs", {})
+    states = ", ".join(f"{state}={count}" for state, count in sorted(jobs.items()))
+    print(f"broker {fleet.get('broker', '?')}: {states}")
+    workers = fleet.get("workers", [])
+    if not workers:
+        print("no workers registered")
+        return 0
+    rows = []
+    for worker in workers:
+        capabilities = worker.get("capabilities", {})
+        backends = ",".join(capabilities.get("backends", [])) or "-"
+        rows.append([
+            worker.get("id", "?"),
+            "yes" if worker.get("alive") else "NO",
+            f"{worker.get('heartbeat_age', 0.0):.1f}s",
+            worker.get("completed", 0),
+            worker.get("failed", 0),
+            backends,
+            capabilities.get("cores", "-"),
+        ])
+    print(_format_table(
+        ["worker", "alive", "heartbeat", "done", "failed", "backends", "cores"],
+        rows,
+    ))
     return 0
 
 
@@ -588,11 +716,56 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="pending-job bound; a full queue answers 503 (default 64)")
     serve.add_argument("--store-dir", default=None, metavar="DIR",
                        help="persist job documents as JSON files here "
-                            "(default: in-memory only)")
+                            "(default: in-memory only; share it between "
+                            "front ends in broker mode)")
+    serve.add_argument("--broker", default=None, metavar="SPEC",
+                       help="dispatch jobs to a worker fleet instead of "
+                            "executing locally: a shared directory path, "
+                            "'memory', or a redis:// URL (default: "
+                            "REPRO_BROKER, else local execution)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
     _add_runner_options(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker", help="run one fleet worker against a broker",
+        description="Lease jobs from a repro.distrib broker, execute them on a "
+                    "local warm runner and post results back (heartbeats extend "
+                    "the lease while a batch runs).  SIGTERM/SIGINT drain "
+                    "gracefully: the in-flight job finishes, then the worker "
+                    "deregisters and exits.",
+    )
+    worker.add_argument("--broker", default=None, metavar="SPEC",
+                        help="broker spec: shared directory path, 'memory', or "
+                             "a redis:// URL (default: REPRO_BROKER)")
+    worker.add_argument("--id", default=None, metavar="NAME",
+                        help="worker id shown in 'repro fleet' "
+                             "(default: <host>-<pid>-<hex>)")
+    worker.add_argument("--poll", type=float, default=0.2, metavar="S",
+                        help="idle polling interval in seconds (default 0.2)")
+    worker.add_argument("--visibility", type=float, default=None, metavar="S",
+                        help="lease visibility timeout override in seconds "
+                             "(default: the broker's, 30)")
+    worker.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                        help="exit after processing N jobs (default: run forever)")
+    _add_runner_options(worker)
+    worker.set_defaults(func=_cmd_worker)
+
+    fleet = sub.add_parser(
+        "fleet", help="show broker queue depth and worker liveness",
+        description="Render the fleet section of GET /v1/stats — job counts per "
+                    "broker state plus one row per registered worker (liveness, "
+                    "heartbeat age, jobs completed/failed, capability tags).  "
+                    "--broker reads the broker directly, without a front end.",
+    )
+    fleet.add_argument("--url", default="http://127.0.0.1:8321", metavar="URL",
+                       help="service base URL (default http://127.0.0.1:8321)")
+    fleet.add_argument("--broker", default=None, metavar="SPEC",
+                       help="read this broker directly instead of asking a "
+                            "front end")
+    fleet.add_argument("--json", action="store_true", help="machine-readable output")
+    fleet.set_defaults(func=_cmd_fleet)
 
     submit = sub.add_parser(
         "submit", help="submit a run to a repro service over HTTP",

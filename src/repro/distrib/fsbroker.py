@@ -1,0 +1,441 @@
+"""A filesystem broker: one shared directory, many processes and hosts.
+
+No server, no new dependencies: the broker *is* a directory (local for a
+multi-process deployment, NFS/EFS-style for multi-host), and the POSIX
+rename is the concurrency primitive.  Layout::
+
+    <root>/jobs/<id>.json       immutable job record (payload, attempt budget)
+    <root>/pending/<key>.json   deliverable tickets; the sorted file name
+                                encodes delivery order (not-before ms, attempt)
+    <root>/leased/<id>.json     live leases (worker, attempt, deadline)
+    <root>/done/<id>.json       results — created with os.link, so exactly
+                                one completion ever wins
+    <root>/dead/<id>.json       dead-lettered jobs (last error, attempts)
+    <root>/cancelled/<id>.json  cancelled-before-delivery markers
+    <root>/workers/<id>.json    worker registrations + heartbeats
+    <root>/tmp/                 scratch for atomic writes
+
+Claiming a job is ``os.rename(pending/<ticket>, leased/<id>.json)`` —
+atomic on every POSIX filesystem, so exactly one worker wins however
+many race; the loser gets ``FileNotFoundError`` and moves on.
+Completion writes a scratch file and ``os.link``\\ s it to
+``done/<id>.json`` — the link fails with ``FileExistsError`` when a
+re-delivered twin finished first, which is exactly the duplicate-
+completion no-op the protocol requires.  Every other mutation is a
+write-to-scratch + ``os.replace``.
+
+All state transitions are crash-safe: a worker that dies at any point
+leaves either a pending ticket (never claimed) or a leased file whose
+deadline lapses, and :meth:`FileBroker.reap` (run opportunistically by
+every ``lease`` call and by the front end's watcher) re-queues it with
+backoff or dead-letters it once the attempt budget is spent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import re
+from typing import Any
+
+from repro.distrib.broker import (
+    Broker,
+    BrokerError,
+    Lease,
+    LeaseLostError,
+    UnknownBrokerJobError,
+    worker_view,
+)
+
+__all__ = ["FileBroker"]
+
+_SAFE_ID = re.compile(r"^[A-Za-z0-9._-]+$")
+_DIRS = ("jobs", "pending", "leased", "done", "dead", "cancelled", "workers", "tmp")
+
+
+class FileBroker(Broker):
+    """Shared-directory broker; see the module docstring for the layout."""
+
+    def __init__(self, root: str, **policy: Any) -> None:
+        super().__init__(**policy)
+        self.root = os.path.abspath(root)
+        for name in _DIRS:
+            os.makedirs(os.path.join(self.root, name), exist_ok=True)
+        self._scratch_seq = itertools.count()
+
+    def describe(self) -> str:
+        return f"file:{self.root}"
+
+    # ------------------------------------------------------------------
+    # Path and file helpers
+    # ------------------------------------------------------------------
+
+    def _path(self, kind: str, name: str) -> str:
+        if not _SAFE_ID.match(name):
+            raise ValueError(f"invalid broker id {name!r}")
+        return os.path.join(self.root, kind, f"{name}.json")
+
+    def _scratch(self, label: str) -> str:
+        return os.path.join(
+            self.root, "tmp", f"{label}.{os.getpid()}.{next(self._scratch_seq)}"
+        )
+
+    def _write(self, path: str, document: dict) -> None:
+        scratch = self._scratch(os.path.basename(path))
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        os.replace(scratch, path)
+
+    def _write_exclusive(self, path: str, document: dict) -> bool:
+        """Atomically create ``path``; ``False`` when it already exists."""
+        scratch = self._scratch(os.path.basename(path))
+        with open(scratch, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        try:
+            os.link(scratch, path)
+            return True
+        except FileExistsError:
+            return False
+        finally:
+            os.unlink(scratch)
+
+    @staticmethod
+    def _read(path: str) -> dict | None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    # -- pending tickets -----------------------------------------------
+
+    def _ticket_name(self, not_before: float, attempt: int, job_id: str) -> str:
+        # The sorted listing of pending/ IS the delivery order: earliest
+        # not-before first, FIFO within a millisecond via the id suffix.
+        return f"{int(not_before * 1000):013d}-{attempt:03d}-{job_id}.json"
+
+    @staticmethod
+    def _ticket_job_id(name: str) -> str | None:
+        if not name.endswith(".json"):
+            return None
+        parts = name[:-5].split("-", 2)
+        return parts[2] if len(parts) == 3 else None
+
+    def _enqueue(self, job_id: str, attempt: int, not_before: float,
+                 error: str | None) -> None:
+        name = self._ticket_name(not_before, attempt, job_id)
+        self._write(
+            os.path.join(self.root, "pending", name),
+            {"id": job_id, "attempt": attempt, "not_before": not_before,
+             "error": error},
+        )
+
+    def _pending_tickets(self) -> list[str]:
+        return sorted(os.listdir(os.path.join(self.root, "pending")))
+
+    def _find_ticket(self, job_id: str) -> str | None:
+        for name in self._pending_tickets():
+            if self._ticket_job_id(name) == job_id:
+                return name
+        return None
+
+    def _terminal_state(self, job_id: str) -> str | None:
+        for state in ("done", "dead", "cancelled"):
+            if os.path.exists(self._path(state, job_id)):
+                return state
+        return None
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+
+    def publish(self, job_id: str, payload: dict, max_attempts: int | None = None) -> None:
+        record_path = self._path("jobs", job_id)
+        now = self._now()
+        created = self._write_exclusive(record_path, {
+            "id": job_id,
+            "payload": payload,
+            "max_attempts": max_attempts or self.max_attempts,
+            "created": now,
+        })
+        if not created:
+            raise BrokerError(f"job {job_id!r} is already published")
+        self._enqueue(job_id, attempt=1, not_before=now, error=None)
+
+    def lease(self, worker_id: str) -> Lease | None:
+        self.reap()
+        now = self._now()
+        for name in self._pending_tickets():
+            job_id = self._ticket_job_id(name)
+            if job_id is None:
+                continue
+            ticket_path = os.path.join(self.root, "pending", name)
+            ticket = self._read(ticket_path)
+            if ticket is None:
+                continue  # claimed (and removed) by a racing worker
+            if ticket["not_before"] > now:
+                continue
+            lease_path = self._path("leased", job_id)
+            try:
+                # THE claim: atomic, exactly one winner per ticket.
+                os.rename(ticket_path, lease_path)
+            except FileNotFoundError:
+                continue
+            if self._terminal_state(job_id) is not None:
+                # A stale ticket for an already-finished job (e.g. it was
+                # completed after a reap re-queued it): discard quietly.
+                self._remove(lease_path)
+                continue
+            record = self._read(self._path("jobs", job_id))
+            if record is None:
+                self._remove(lease_path)
+                continue
+            deadline = now + self.visibility
+            self._write(lease_path, {
+                "id": job_id,
+                "attempt": ticket["attempt"],
+                "worker": worker_id,
+                "deadline": deadline,
+            })
+            return Lease(job_id, record["payload"], ticket["attempt"],
+                         deadline, worker_id)
+        return None
+
+    def heartbeat(self, job_id: str, worker_id: str) -> float:
+        lease_path = self._path("leased", job_id)
+        lease = self._read(lease_path)
+        if lease is None or lease.get("worker") != worker_id:
+            raise LeaseLostError(f"worker {worker_id!r} no longer holds job {job_id!r}")
+        lease["deadline"] = self._now() + self.visibility
+        self._write(lease_path, lease)
+        return lease["deadline"]
+
+    def complete(self, job_id: str, worker_id: str, results: Any) -> bool:
+        if not os.path.exists(self._path("jobs", job_id)):
+            raise UnknownBrokerJobError(job_id)
+        lease = self._read(self._path("leased", job_id))
+        attempt = lease["attempt"] if lease and lease.get("worker") == worker_id else None
+        won = self._write_exclusive(self._path("done", job_id), {
+            "results": results,
+            "worker": worker_id,
+            "attempt": attempt,
+            "finished": self._now(),
+        })
+        self._release(job_id, worker_id)
+        if won:
+            # A reaper may have re-queued the job while we were finishing
+            # it; the ticket is now stale and must not be delivered.
+            ticket = self._find_ticket(job_id)
+            if ticket is not None:
+                self._remove(os.path.join(self.root, "pending", ticket))
+        return won
+
+    def fail(self, job_id: str, worker_id: str, error: str) -> None:
+        record = self._read(self._path("jobs", job_id))
+        if record is None:
+            raise UnknownBrokerJobError(job_id)
+        lease = self._take_lease(job_id, worker_id)
+        if lease is None:
+            # Lease already reaped/re-delivered: that delivery owns the
+            # retry accounting now, a late failure report changes nothing.
+            return
+        attempt = lease["attempt"]
+        if attempt >= record["max_attempts"]:
+            self._write_exclusive(self._path("dead", job_id), {
+                "error": error, "attempts": attempt, "finished": self._now(),
+            })
+        else:
+            self._enqueue(job_id, attempt + 1,
+                          self._now() + self.backoff(attempt), error)
+
+    def cancel(self, job_id: str) -> bool:
+        if not os.path.exists(self._path("jobs", job_id)):
+            raise UnknownBrokerJobError(job_id)
+        name = self._find_ticket(job_id)
+        if name is None:
+            return False
+        takeover = self._scratch(job_id)
+        try:
+            os.rename(os.path.join(self.root, "pending", name), takeover)
+        except FileNotFoundError:
+            return False  # leased in the race window
+        self._remove(takeover)
+        self._write_exclusive(self._path("cancelled", job_id),
+                              {"finished": self._now()})
+        return True
+
+    def reap(self) -> int:
+        now = self._now()
+        leased_dir = os.path.join(self.root, "leased")
+        reaped = 0
+        for name in sorted(os.listdir(leased_dir)):
+            lease_path = os.path.join(leased_dir, name)
+            lease = self._read(lease_path)
+            if lease is None:
+                continue
+            deadline = lease.get("deadline")
+            if deadline is None:
+                # Mid-claim (ticket renamed, content not yet rewritten):
+                # grant the claimer a full visibility window from mtime.
+                try:
+                    deadline = os.path.getmtime(lease_path) + self.visibility
+                except OSError:
+                    continue
+            if deadline >= now:
+                continue
+            takeover = self._scratch(f"reap-{name}")
+            try:
+                os.rename(lease_path, takeover)
+            except FileNotFoundError:
+                continue  # completed or reaped concurrently
+            self._remove(takeover)
+            job_id = lease.get("id") or name[:-5]
+            if self._terminal_state(job_id) is not None or self._find_ticket(job_id):
+                continue  # ghost lease (e.g. a heartbeat raced a reap)
+            reaped += 1
+            record = self._read(self._path("jobs", job_id)) or {}
+            attempt = lease.get("attempt", 1)
+            error = (f"lease expired after attempt {attempt} "
+                     f"(worker {lease.get('worker', '?')})")
+            if attempt >= record.get("max_attempts", self.max_attempts):
+                self._write_exclusive(self._path("dead", job_id), {
+                    "error": error, "attempts": attempt, "finished": now,
+                })
+            else:
+                self._enqueue(job_id, attempt + 1, now + self.backoff(attempt), error)
+        return reaped
+
+    def _release(self, job_id: str, worker_id: str) -> None:
+        """Remove our lease file, tolerating every race."""
+        self._take_lease(job_id, worker_id)
+
+    def _take_lease(self, job_id: str, worker_id: str) -> dict | None:
+        """Atomically remove ``worker_id``'s lease and return its content.
+
+        Rename-then-verify: if the file turns out to belong to another
+        worker (the lease expired and was re-delivered between our read
+        and our rename), it is put back untouched and ``None`` returned.
+        """
+        lease_path = self._path("leased", job_id)
+        takeover = self._scratch(job_id)
+        try:
+            os.rename(lease_path, takeover)
+        except FileNotFoundError:
+            return None
+        lease = self._read(takeover)
+        if lease is None or lease.get("worker") != worker_id:
+            try:
+                os.rename(takeover, lease_path)
+            except OSError:
+                self._remove(takeover)
+            return None
+        self._remove(takeover)
+        return lease
+
+    @staticmethod
+    def _remove(path: str) -> None:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self, job_id: str) -> dict[str, Any]:
+        record = self._read(self._path("jobs", job_id))
+        if record is None:
+            raise UnknownBrokerJobError(job_id)
+        base = {
+            "id": job_id,
+            "created": record["created"],
+            "max_attempts": record["max_attempts"],
+            "error": None,
+        }
+        done = self._read(self._path("done", job_id))
+        if done is not None:
+            return {**base, "state": "done", "attempts": done["attempt"],
+                    "worker": done["worker"], "results": done["results"],
+                    "finished": done["finished"]}
+        dead = self._read(self._path("dead", job_id))
+        if dead is not None:
+            return {**base, "state": "dead", "attempts": dead["attempts"],
+                    "worker": None, "results": None,
+                    "finished": dead["finished"], "error": dead["error"]}
+        cancelled = self._read(self._path("cancelled", job_id))
+        if cancelled is not None:
+            return {**base, "state": "cancelled", "attempts": 0, "worker": None,
+                    "results": None, "finished": cancelled["finished"]}
+        lease = self._read(self._path("leased", job_id))
+        if lease is not None and "worker" in lease:
+            return {**base, "state": "leased", "attempts": lease["attempt"],
+                    "worker": lease["worker"], "results": None,
+                    "deadline": lease["deadline"], "finished": None}
+        name = self._find_ticket(job_id)
+        if name is not None:
+            ticket = self._read(os.path.join(self.root, "pending", name))
+            if ticket is not None:
+                return {**base, "state": "pending",
+                        "attempts": ticket["attempt"] - 1, "worker": None,
+                        "results": None, "not_before": ticket["not_before"],
+                        "error": ticket.get("error"), "finished": None}
+        return {**base, "state": "pending", "attempts": None, "worker": None,
+                "results": None, "finished": None}
+
+    def counts(self) -> dict[str, int]:
+        out = {}
+        for state, kind in (("pending", "pending"), ("leased", "leased"),
+                            ("done", "done"), ("dead", "dead"),
+                            ("cancelled", "cancelled")):
+            try:
+                out[state] = sum(
+                    1 for entry in os.listdir(os.path.join(self.root, kind))
+                    if entry.endswith(".json")
+                )
+            except OSError:
+                out[state] = 0
+        return out
+
+    # ------------------------------------------------------------------
+    # Worker registry
+    # ------------------------------------------------------------------
+
+    def register_worker(self, worker_id: str, capabilities: dict[str, Any]) -> None:
+        now = self._now()
+        self._write(self._path("workers", worker_id), {
+            "id": worker_id,
+            "capabilities": capabilities,
+            "started": now,
+            "heartbeat": now,
+            "completed": 0,
+            "failed": 0,
+        })
+
+    def worker_heartbeat(
+        self, worker_id: str, completed: int | None = None, failed: int | None = None
+    ) -> None:
+        path = self._path("workers", worker_id)
+        record = self._read(path)
+        if record is None:
+            raise BrokerError(f"worker {worker_id!r} is not registered")
+        record["heartbeat"] = self._now()
+        if completed is not None:
+            record["completed"] = completed
+        if failed is not None:
+            record["failed"] = failed
+        self._write(path, record)
+
+    def deregister_worker(self, worker_id: str) -> None:
+        self._remove(self._path("workers", worker_id))
+
+    def workers(self) -> list[dict[str, Any]]:
+        now = self._now()
+        directory = os.path.join(self.root, "workers")
+        views = []
+        for name in sorted(os.listdir(directory)):
+            record = self._read(os.path.join(directory, name))
+            if record is not None:
+                views.append(worker_view(record, now, self.worker_ttl))
+        return views

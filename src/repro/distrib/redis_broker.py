@@ -1,0 +1,289 @@
+"""An optional redis-backed broker (requires the ``redis`` package).
+
+The container image does not bake redis in, so this module is imported
+lazily by :func:`repro.distrib.connect_broker` when (and only when) a
+``redis://`` broker URL is given; everything else in :mod:`repro.distrib`
+works without it.  The semantics mirror :class:`~repro.distrib.memory.
+MemoryBroker` / :class:`~repro.distrib.fsbroker.FileBroker`:
+
+* the pending queue is a sorted set scored by not-before time; the
+  atomic claim is ``ZREM`` (exactly one caller removes a member),
+* leases are per-job hashes plus a deadline-scored sorted set for
+  reaping,
+* terminal states are ``SET NX`` writes, so completion is
+  first-write-wins exactly like the file broker's ``os.link``.
+
+This implementation is exercised only where redis is installed; the
+brokers the test suite and CI verify are the memory and file ones.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.distrib.broker import (
+    Broker,
+    BrokerError,
+    Lease,
+    LeaseLostError,
+    UnknownBrokerJobError,
+    worker_view,
+)
+
+__all__ = ["RedisBroker"]
+
+
+class RedisBroker(Broker):
+    """Broker state in one redis instance; see the module docstring."""
+
+    def __init__(self, url: str, prefix: str = "repro", **policy: Any) -> None:
+        super().__init__(**policy)
+        try:
+            import redis  # noqa: PLC0415 - the whole point is a lazy optional import
+        except ImportError as error:  # pragma: no cover - exercised without redis only
+            raise BrokerError(
+                "redis:// brokers need the optional 'redis' package "
+                "(pip install redis); use a directory path for the "
+                "dependency-free file broker instead"
+            ) from error
+        self._redis = redis.Redis.from_url(url, decode_responses=True)
+        self.url = url
+        self.prefix = prefix
+
+    def describe(self) -> str:
+        return f"redis:{self.url}"
+
+    def _key(self, *parts: str) -> str:
+        return ":".join((self.prefix, *parts))
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+
+    def publish(self, job_id: str, payload: dict, max_attempts: int | None = None) -> None:
+        job_key = self._key("job", job_id)
+        created = self._redis.hsetnx(job_key, "created", self._now())
+        if not created:
+            raise BrokerError(f"job {job_id!r} is already published")
+        self._redis.hset(job_key, mapping={
+            "payload": json.dumps(payload),
+            "max_attempts": max_attempts or self.max_attempts,
+        })
+        self._enqueue(job_id, attempt=1, not_before=self._now())
+
+    def _enqueue(self, job_id: str, attempt: int, not_before: float) -> None:
+        self._redis.zadd(self._key("pending"), {f"{job_id}:{attempt}": not_before})
+
+    def lease(self, worker_id: str) -> Lease | None:
+        self.reap()
+        now = self._now()
+        candidates = self._redis.zrangebyscore(
+            self._key("pending"), "-inf", now, start=0, num=8
+        )
+        for member in candidates:
+            if not self._redis.zrem(self._key("pending"), member):
+                continue  # another worker claimed it
+            job_id, _, attempt_text = member.rpartition(":")
+            attempt = int(attempt_text)
+            if self._terminal_state(job_id) is not None:
+                continue  # stale ticket for a finished job
+            record = self._redis.hgetall(self._key("job", job_id))
+            if not record:
+                continue
+            deadline = now + self.visibility
+            self._redis.hset(self._key("lease", job_id), mapping={
+                "worker": worker_id, "attempt": attempt, "deadline": deadline,
+            })
+            self._redis.zadd(self._key("leases"), {job_id: deadline})
+            return Lease(job_id, json.loads(record["payload"]), attempt,
+                         deadline, worker_id)
+        return None
+
+    def heartbeat(self, job_id: str, worker_id: str) -> float:
+        lease = self._redis.hgetall(self._key("lease", job_id))
+        if not lease or lease.get("worker") != worker_id:
+            raise LeaseLostError(f"worker {worker_id!r} no longer holds job {job_id!r}")
+        deadline = self._now() + self.visibility
+        self._redis.hset(self._key("lease", job_id), "deadline", deadline)
+        self._redis.zadd(self._key("leases"), {job_id: deadline})
+        return deadline
+
+    def complete(self, job_id: str, worker_id: str, results: Any) -> bool:
+        if not self._redis.exists(self._key("job", job_id)):
+            raise UnknownBrokerJobError(job_id)
+        lease = self._redis.hgetall(self._key("lease", job_id))
+        attempt = int(lease["attempt"]) if lease.get("worker") == worker_id else None
+        won = bool(self._redis.set(self._key("done", job_id), json.dumps({
+            "results": results, "worker": worker_id, "attempt": attempt,
+            "finished": self._now(),
+        }), nx=True))
+        if won:
+            self._redis.sadd(self._key("done_ids"), job_id)
+            # Drop any stale re-queued ticket for the finished job.
+            for member in self._redis.zrange(self._key("pending"), 0, -1):
+                if member.rpartition(":")[0] == job_id:
+                    self._redis.zrem(self._key("pending"), member)
+        if lease.get("worker") == worker_id:
+            self._drop_lease(job_id)
+        return won
+
+    def fail(self, job_id: str, worker_id: str, error: str) -> None:
+        record = self._redis.hgetall(self._key("job", job_id))
+        if not record:
+            raise UnknownBrokerJobError(job_id)
+        lease = self._redis.hgetall(self._key("lease", job_id))
+        if not lease or lease.get("worker") != worker_id:
+            return  # reaped/re-delivered: that delivery owns the retry now
+        self._drop_lease(job_id)
+        attempt = int(lease["attempt"])
+        self._redis.hset(self._key("job", job_id), "error", error)
+        if attempt >= int(record.get("max_attempts", self.max_attempts)):
+            self._write_dead(job_id, error, attempt)
+        else:
+            self._enqueue(job_id, attempt + 1, self._now() + self.backoff(attempt))
+
+    def cancel(self, job_id: str) -> bool:
+        if not self._redis.exists(self._key("job", job_id)):
+            raise UnknownBrokerJobError(job_id)
+        for member in self._redis.zrange(self._key("pending"), 0, -1):
+            if member.rpartition(":")[0] == job_id:
+                if self._redis.zrem(self._key("pending"), member):
+                    self._redis.set(self._key("cancelled", job_id), json.dumps(
+                        {"finished": self._now()}
+                    ), nx=True)
+                    self._redis.sadd(self._key("cancelled_ids"), job_id)
+                    return True
+        return False
+
+    def reap(self) -> int:
+        now = self._now()
+        reaped = 0
+        for job_id in self._redis.zrangebyscore(self._key("leases"), "-inf", now):
+            if not self._redis.zrem(self._key("leases"), job_id):
+                continue
+            lease = self._redis.hgetall(self._key("lease", job_id))
+            self._redis.delete(self._key("lease", job_id))
+            if not lease or self._terminal_state(job_id) is not None:
+                continue
+            reaped += 1
+            attempt = int(lease.get("attempt", 1))
+            error = (f"lease expired after attempt {attempt} "
+                     f"(worker {lease.get('worker', '?')})")
+            self._redis.hset(self._key("job", job_id), "error", error)
+            max_attempts = int(self._redis.hget(self._key("job", job_id), "max_attempts")
+                               or self.max_attempts)
+            if attempt >= max_attempts:
+                self._write_dead(job_id, error, attempt)
+            else:
+                self._enqueue(job_id, attempt + 1, now + self.backoff(attempt))
+        return reaped
+
+    def _drop_lease(self, job_id: str) -> None:
+        self._redis.delete(self._key("lease", job_id))
+        self._redis.zrem(self._key("leases"), job_id)
+
+    def _write_dead(self, job_id: str, error: str, attempts: int) -> None:
+        self._redis.set(self._key("dead", job_id), json.dumps({
+            "error": error, "attempts": attempts, "finished": self._now(),
+        }), nx=True)
+        self._redis.sadd(self._key("dead_ids"), job_id)
+
+    def _terminal_state(self, job_id: str) -> str | None:
+        for state in ("done", "dead", "cancelled"):
+            if self._redis.exists(self._key(state, job_id)):
+                return state
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self, job_id: str) -> dict[str, Any]:
+        record = self._redis.hgetall(self._key("job", job_id))
+        if not record:
+            raise UnknownBrokerJobError(job_id)
+        base = {
+            "id": job_id,
+            "created": float(record["created"]),
+            "max_attempts": int(record.get("max_attempts", self.max_attempts)),
+            "error": record.get("error"),
+        }
+        done = self._redis.get(self._key("done", job_id))
+        if done is not None:
+            doc = json.loads(done)
+            return {**base, "state": "done", "attempts": doc["attempt"],
+                    "worker": doc["worker"], "results": doc["results"],
+                    "finished": doc["finished"], "error": None}
+        dead = self._redis.get(self._key("dead", job_id))
+        if dead is not None:
+            doc = json.loads(dead)
+            return {**base, "state": "dead", "attempts": doc["attempts"],
+                    "worker": None, "results": None,
+                    "finished": doc["finished"], "error": doc["error"]}
+        cancelled = self._redis.get(self._key("cancelled", job_id))
+        if cancelled is not None:
+            return {**base, "state": "cancelled", "attempts": 0, "worker": None,
+                    "results": None, "finished": json.loads(cancelled)["finished"]}
+        lease = self._redis.hgetall(self._key("lease", job_id))
+        if lease:
+            return {**base, "state": "leased", "attempts": int(lease["attempt"]),
+                    "worker": lease["worker"], "results": None,
+                    "deadline": float(lease["deadline"]), "finished": None}
+        for member in self._redis.zrange(self._key("pending"), 0, -1, withscores=True):
+            name, score = member
+            if name.rpartition(":")[0] == job_id:
+                return {**base, "state": "pending",
+                        "attempts": int(name.rpartition(":")[2]) - 1,
+                        "worker": None, "results": None, "not_before": score,
+                        "finished": None}
+        return {**base, "state": "pending", "attempts": None, "worker": None,
+                "results": None, "finished": None}
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "pending": self._redis.zcard(self._key("pending")),
+            "leased": self._redis.zcard(self._key("leases")),
+            "done": self._redis.scard(self._key("done_ids")),
+            "dead": self._redis.scard(self._key("dead_ids")),
+            "cancelled": self._redis.scard(self._key("cancelled_ids")),
+        }
+
+    # ------------------------------------------------------------------
+    # Worker registry
+    # ------------------------------------------------------------------
+
+    def register_worker(self, worker_id: str, capabilities: dict[str, Any]) -> None:
+        now = self._now()
+        self._redis.hset(self._key("workers"), worker_id, json.dumps({
+            "id": worker_id, "capabilities": capabilities,
+            "started": now, "heartbeat": now, "completed": 0, "failed": 0,
+        }))
+
+    def worker_heartbeat(
+        self, worker_id: str, completed: int | None = None, failed: int | None = None
+    ) -> None:
+        raw = self._redis.hget(self._key("workers"), worker_id)
+        if raw is None:
+            raise BrokerError(f"worker {worker_id!r} is not registered")
+        record = json.loads(raw)
+        record["heartbeat"] = self._now()
+        if completed is not None:
+            record["completed"] = completed
+        if failed is not None:
+            record["failed"] = failed
+        self._redis.hset(self._key("workers"), worker_id, json.dumps(record))
+
+    def deregister_worker(self, worker_id: str) -> None:
+        self._redis.hdel(self._key("workers"), worker_id)
+
+    def workers(self) -> list[dict[str, Any]]:
+        now = self._now()
+        records = self._redis.hgetall(self._key("workers"))
+        return [
+            worker_view(json.loads(raw), now, self.worker_ttl)
+            for _, raw in sorted(records.items())
+        ]
+
+    def close(self) -> None:
+        self._redis.close()

@@ -1,0 +1,205 @@
+"""The stateless fleet worker: lease, execute, heartbeat, complete.
+
+``repro worker`` runs one :class:`FleetWorker` per process.  The worker
+owns a persistent :class:`~repro.api.runner.Runner` (warm process pool,
+shared result cache), registers with the broker under capability tags
+(live execution backends, core count, host/pid), and loops:
+
+1. :meth:`~repro.distrib.broker.Broker.lease` a job (reaping expired
+   leases opportunistically on the way),
+2. execute its requests as one ``Runner.run_batch`` call — the same
+   code path as ``repro run`` and the single-process service, so fleet
+   results are byte-identical to local ones,
+3. heartbeat from a background thread while the batch runs, so a long
+   job never loses its lease while a *dead* worker loses it within one
+   visibility timeout,
+4. :meth:`~repro.distrib.broker.Broker.complete` (first write wins — a
+   re-delivered twin finishing later is a quiet no-op) or
+   :meth:`~repro.distrib.broker.Broker.fail` (retry with backoff, then
+   dead-letter).
+
+Drain semantics: :meth:`FleetWorker.request_stop` (wired to SIGTERM and
+SIGINT by the CLI) stops *leasing*; the in-flight job finishes and its
+lease is completed before the loop exits and the worker deregisters.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import uuid
+from typing import Any
+
+import repro
+from repro.api.request import RunRequest
+from repro.api.results import suite_payload
+from repro.api.runner import Runner
+from repro.backends import available_backends
+from repro.distrib.broker import Broker, Lease, LeaseLostError
+
+__all__ = ["FleetWorker", "default_capabilities", "new_worker_id"]
+
+#: Idle poll interval between empty lease attempts, seconds.
+DEFAULT_POLL_INTERVAL = 0.2
+
+
+def new_worker_id() -> str:
+    """A fleet-unique, filesystem-safe worker id (host, pid, nonce)."""
+    host = socket.gethostname().split(".")[0] or "host"
+    return f"{host}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def default_capabilities(runner: Runner) -> dict[str, Any]:
+    """The capability tags a worker registers with."""
+    return {
+        "backends": list(available_backends()),
+        "cores": os.cpu_count() or 1,
+        "pool_workers": runner.config.workers,
+        "version": repro.__version__,
+        "host": socket.gethostname(),
+        "pid": os.getpid(),
+    }
+
+
+class FleetWorker:
+    """One worker process' broker loop; see the module docstring.
+
+    Parameters
+    ----------
+    broker:
+        Any :class:`~repro.distrib.broker.Broker`.
+    runner:
+        Defaults to an env-configured persistent runner; the worker owns
+        it and closes it when the loop exits.
+    worker_id:
+        Defaults to a generated host-pid-nonce id.
+    poll_interval:
+        Idle sleep between empty lease attempts.
+    heartbeat_interval:
+        Lease-extension period while executing; defaults to a third of
+        the broker's visibility timeout.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        runner: Runner | None = None,
+        worker_id: str | None = None,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        heartbeat_interval: float | None = None,
+    ) -> None:
+        self.broker = broker
+        self.runner = runner if runner is not None else Runner.from_env(persistent=True)
+        self.worker_id = worker_id or new_worker_id()
+        self.poll_interval = poll_interval
+        self.heartbeat_interval = (
+            heartbeat_interval if heartbeat_interval is not None
+            else max(broker.visibility / 3.0, 0.05)
+        )
+        self.completed = 0
+        self.failed = 0
+        self._stop = threading.Event()
+        self._registered = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Graceful drain: stop leasing; the in-flight job still finishes."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def run(self, max_jobs: int | None = None) -> int:
+        """Register and loop until drained; returns jobs processed.
+
+        ``max_jobs`` bounds the loop (smoke tests, batch-mode fleets);
+        ``None`` runs until :meth:`request_stop`.
+        """
+        self.broker.register_worker(self.worker_id, default_capabilities(self.runner))
+        self._registered = True
+        processed = 0
+        try:
+            while not self._stop.is_set():
+                if max_jobs is not None and processed >= max_jobs:
+                    break
+                lease = self.broker.lease(self.worker_id)
+                if lease is None:
+                    self._touch_registration()
+                    if self._stop.wait(self.poll_interval):
+                        break
+                    continue
+                self._execute(lease)
+                processed += 1
+                self._touch_registration()
+        finally:
+            if self._registered:
+                try:
+                    self.broker.deregister_worker(self.worker_id)
+                except Exception:  # noqa: BLE001 - deregistration is best-effort
+                    pass
+                self._registered = False
+            self.runner.close()
+        return processed
+
+    def _touch_registration(self) -> None:
+        try:
+            self.broker.worker_heartbeat(
+                self.worker_id, completed=self.completed, failed=self.failed
+            )
+        except Exception:  # noqa: BLE001 - observability must not kill the loop
+            pass
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _execute(self, lease: Lease) -> None:
+        stop_beat = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(lease, stop_beat),
+            name=f"repro-worker-heartbeat-{lease.job_id}",
+            daemon=True,
+        )
+        beat.start()
+        try:
+            requests = [
+                RunRequest.from_dict(entry) for entry in lease.payload["requests"]
+            ]
+            results = self.runner.run_batch(requests)
+            payloads = [
+                suite_payload(request, result)
+                for request, result in zip(requests, results)
+            ]
+        except Exception as error:  # noqa: BLE001 - job faults must not kill the worker
+            stop_beat.set()
+            beat.join()
+            message = str(error.args[0]) if error.args else str(error)
+            self.failed += 1
+            self.broker.fail(lease.job_id, self.worker_id,
+                             f"{type(error).__name__}: {message}")
+            return
+        stop_beat.set()
+        beat.join()
+        # complete() is idempotent: if the lease expired mid-run and a
+        # twin finished first, this is a quiet no-op (results being
+        # deterministic, both copies are identical anyway).
+        if self.broker.complete(lease.job_id, self.worker_id, payloads):
+            self.completed += 1
+
+    def _heartbeat_loop(self, lease: Lease, stop: threading.Event) -> None:
+        while not stop.wait(self.heartbeat_interval):
+            try:
+                self.broker.heartbeat(lease.job_id, self.worker_id)
+            except LeaseLostError:
+                # Keep executing: completion stays correct (idempotent)
+                # and abandoning mid-run would waste the work when the
+                # re-delivered twin also dies.
+                return
+            except Exception:  # noqa: BLE001 - transient broker errors: retry next beat
+                continue

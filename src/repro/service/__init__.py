@@ -26,6 +26,12 @@ Start one with ``repro serve`` or::
 
     with SimulationService() as service:
         serve(service, host="127.0.0.1", port=8321)
+
+For multi-host deployments, construct the service with a
+:mod:`repro.distrib` broker (``repro serve --broker <spec>``): jobs are
+published to the broker and executed by a separate ``repro worker``
+fleet instead of an in-process runner; ``GET /v1/stats`` then carries a
+``fleet`` section with per-worker liveness and throughput.
 """
 
 from repro.service.app import ServiceHTTPServer, make_server, serve

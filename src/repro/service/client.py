@@ -72,6 +72,21 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._call("GET", "/v1/stats")
 
+    def fleet(self) -> dict:
+        """The broker's fleet section of ``/v1/stats``.
+
+        Raises :class:`ServiceClientError` (status 0) when the server is
+        not running in broker mode — ``repro fleet`` turns that into a
+        clear message instead of an empty table.
+        """
+        stats = self.stats()
+        fleet = stats.get("fleet")
+        if fleet is None:
+            raise ServiceClientError(
+                0, f"{self.base_url} is a single-process service (no broker fleet)"
+            )
+        return fleet
+
     def job(self, job_id: str) -> dict:
         return self._call("GET", f"/v1/runs/{job_id}")
 

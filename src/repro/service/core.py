@@ -21,6 +21,18 @@ Jobs within one submission share the scheduler's dedup; jobs are
 *serialized* with respect to each other (the parallelism lives in the
 worker pool, not in concurrent batches), which keeps results
 deterministic however many clients submit concurrently.
+
+**Broker-dispatch mode** (``broker=...``, selected by ``repro serve
+--broker``): instead of executing locally, the dispatcher *publishes*
+each job to a :class:`~repro.distrib.broker.Broker` and a watcher thread
+follows the broker's view of it — leased (a fleet worker is executing it,
+the job shows ``running`` with its worker id and attempt count), done
+(results arrive from the worker, byte-identical to local execution),
+dead-lettered (the job fails with the broker's last error).  Jobs run
+*concurrently* across however many workers lease them; the front end
+also reaps expired leases, so progress survives every worker dying.
+Default single-process behavior is completely unchanged when no broker
+is given.
 """
 
 from __future__ import annotations
@@ -51,6 +63,12 @@ DEFAULT_STORE_ENTRIES = 4096
 
 #: How often the idle dispatcher re-checks the stop signal, seconds.
 _DRAIN_POLL_SECONDS = 0.1
+
+#: How often the broker watcher polls published jobs, seconds.
+DEFAULT_BROKER_POLL_SECONDS = 0.05
+
+#: Broker job states that map onto a locally-queued job.
+_REMOTE_QUEUED = ("pending",)
 
 
 class QueueFullError(RuntimeError):
@@ -91,6 +109,14 @@ class SimulationService:
     queue_size:
         Bound of the pending-job queue (back-pressure, not buffering:
         a full queue rejects rather than grows).
+    broker:
+        A :class:`~repro.distrib.broker.Broker` selects broker-dispatch
+        mode: jobs are published to the fleet instead of executed on a
+        local runner (see the module docstring).  The service owns the
+        broker it is given and closes it on :meth:`close`.  In this mode
+        no local runner is created unless one is passed explicitly.
+    broker_poll:
+        Watcher poll interval in broker mode, seconds.
     """
 
     def __init__(
@@ -98,10 +124,21 @@ class SimulationService:
         runner: Runner | None = None,
         store: ResultStore | None = None,
         queue_size: int = DEFAULT_QUEUE_SIZE,
+        broker=None,
+        broker_poll: float = DEFAULT_BROKER_POLL_SECONDS,
     ) -> None:
         if queue_size < 1:
             raise ValueError(f"queue_size must be at least 1, got {queue_size}")
-        self.runner = runner if runner is not None else Runner.from_env(persistent=True)
+        self.broker = broker
+        self.broker_poll = broker_poll
+        if runner is not None:
+            self.runner = runner
+        elif broker is not None:
+            # The front end never executes in broker mode; building a
+            # default runner would only spawn a pool nothing uses.
+            self.runner = None
+        else:
+            self.runner = Runner.from_env(persistent=True)
         self.store = (
             store if store is not None else MemoryResultStore(max_entries=DEFAULT_STORE_ENTRIES)
         )
@@ -112,8 +149,11 @@ class SimulationService:
         # channel until the dispatcher pops (and skips) it.
         self._queue: "queue.Queue[Any]" = queue.Queue()
         self._live: dict[str, Job] = {}
+        #: Jobs published to the broker and not yet terminal (broker mode).
+        self._remote: dict[str, Job] = {}
         self._lock = threading.Lock()
         self._dispatcher: threading.Thread | None = None
+        self._watcher: threading.Thread | None = None
         self._stop = threading.Event()
         self._closed = False
         self._started_at = time.time()
@@ -129,7 +169,7 @@ class SimulationService:
     # ------------------------------------------------------------------
 
     def start(self) -> "SimulationService":
-        """Start the dispatcher thread (idempotent)."""
+        """Start the dispatcher (and, in broker mode, watcher) threads."""
         if self._closed:
             raise ServiceClosedError("service is closed")
         if self._dispatcher is None:
@@ -137,28 +177,43 @@ class SimulationService:
                 target=self._drain, name="repro-service-dispatcher", daemon=True
             )
             self._dispatcher.start()
+        if self.broker is not None and self._watcher is None:
+            self._watcher = threading.Thread(
+                target=self._watch, name="repro-service-broker-watcher", daemon=True
+            )
+            self._watcher.start()
         return self
 
     def close(self, timeout: float | None = 30.0) -> None:
-        """Stop accepting jobs, drain the dispatcher, close the runner.
+        """Stop accepting jobs, drain in-flight work, release resources.
 
         Already-queued jobs still execute; new submissions are rejected.
         ``close`` itself never blocks on the queue — it signals a stop
         event and waits up to ``timeout`` for the drain.  If the
         dispatcher outlives the timeout (a long job mid-flight), it
         closes the runner itself on exit, so worker processes are never
-        leaked either way.  Idempotent.
+        leaked either way.  In broker mode the watcher keeps following
+        already-published jobs until they finish (the graceful-drain
+        contract: leases are completed, not abandoned) or the timeout
+        lapses.  Idempotent.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
         self._stop.set()
+        deadline = None if timeout is None else time.time() + timeout
         dispatcher = self._dispatcher
         if dispatcher is not None:
             dispatcher.join(timeout=timeout)
-        if dispatcher is None or not dispatcher.is_alive():
+        watcher = self._watcher
+        if watcher is not None:
+            remaining = None if deadline is None else max(deadline - time.time(), 0.0)
+            watcher.join(timeout=remaining)
+        if self.runner is not None and (dispatcher is None or not dispatcher.is_alive()):
             self.runner.close()
+        if self.broker is not None and (watcher is None or not watcher.is_alive()):
+            self.broker.close()
 
     def __enter__(self) -> "SimulationService":
         return self.start()
@@ -215,6 +270,11 @@ class SimulationService:
         worker pool has no safe preemption point), so callers decide
         between waiting and abandoning the result.  The cancelled job
         stays in the queue as a tombstone; the dispatcher skips it.
+
+        In broker mode a job already *published* cancels only while no
+        worker holds a lease on it: the broker's pending-ticket removal
+        is the atomic arbiter, so a cancel can never race a worker into
+        executing a cancelled job.
         """
         with self._lock:
             job = self._live.get(job_id)
@@ -229,9 +289,25 @@ class SimulationService:
                 raise CancelConflictError(
                     f"job {job_id} is {job.status.value} and cannot be cancelled"
                 )
+            published = job.id in self._remote
+        if published:
+            # Outside the lock: the broker does IO.  A concurrent lease
+            # simply makes cancel() return False here.
+            if not self.broker.cancel(job.id):
+                raise CancelConflictError(
+                    f"job {job_id} is already leased by a worker and cannot be cancelled"
+                )
+        with self._lock:
+            if job.status is not JobStatus.QUEUED:
+                # The watcher raced us to a terminal state after the
+                # broker-side cancel check; report the conflict.
+                raise CancelConflictError(
+                    f"job {job_id} is {job.status.value} and cannot be cancelled"
+                )
             job.status = JobStatus.CANCELLED
             job.finished = time.time()
             self.cancelled += 1
+            self._remote.pop(job.id, None)
         # Drop the tombstone from the channel too: without this, a client
         # looping submit/cancel while the dispatcher is busy would grow
         # the (unbounded) channel without limit.  If the dispatcher
@@ -271,6 +347,7 @@ class SimulationService:
         return {
             "uptime_seconds": time.time() - self._started_at,
             "dispatcher_running": self._dispatcher is not None and self._dispatcher.is_alive(),
+            "mode": "broker" if self.broker is not None else "local",
         }
 
     def stats(self) -> dict[str, Any]:
@@ -285,15 +362,22 @@ class SimulationService:
         if busy_since is not None:
             busy += now - busy_since
         uptime = max(now - self._started_at, 1e-9)
-        pool = self.runner.pool
-        cache = self.runner.cache
+        pool = self.runner.pool if self.runner is not None else None
+        cache = self.runner.cache if self.runner is not None else None
         cache_stats = None
         if cache is not None:
             cache_stats = cache.stats()
             lookups = cache_stats["hits"] + cache_stats["misses"]
             cache_stats["hit_rate"] = cache_stats["hits"] / lookups if lookups else 0.0
+        fleet = None
+        if self.broker is not None:
+            try:
+                fleet = self.broker.stats()
+            except Exception as error:  # noqa: BLE001 - stats must not 500 on broker IO
+                fleet = {"error": f"{type(error).__name__}: {error}"}
         return {
             "uptime_seconds": now - self._started_at,
+            "mode": "broker" if self.broker is not None else "local",
             "queue": {
                 "depth": sum(1 for job in live if job.status is JobStatus.QUEUED),
                 "capacity": self.queue_size,
@@ -313,6 +397,7 @@ class SimulationService:
             "pool": pool.stats() if pool is not None else None,
             "result_cache": cache_stats,
             "store": self.store.stats(),
+            "fleet": fleet,
         }
 
     # ------------------------------------------------------------------
@@ -328,9 +413,12 @@ class SimulationService:
                     if self._stop.is_set():
                         return
                     continue
-                self._execute(job)
+                if self.broker is not None:
+                    self._publish(job)
+                else:
+                    self._execute(job)
         finally:
-            if self._stop.is_set():
+            if self._stop.is_set() and self.runner is not None:
                 # close() may already have returned (join timeout expired
                 # mid-job): last one out shuts the pool.  Runner.close is
                 # idempotent, so racing close() here is harmless.
@@ -366,4 +454,103 @@ class SimulationService:
         self.store.put(job.id, job.to_dict())
         with self._lock:
             self._live.pop(job.id, None)
+        job.done_event.set()
+
+    # ------------------------------------------------------------------
+    # Broker dispatch (publish + watch)
+    # ------------------------------------------------------------------
+
+    def _publish(self, job: Job) -> None:
+        """Hand one job to the fleet; it stays QUEUED until leased."""
+        with self._lock:
+            if job.status is not JobStatus.QUEUED:
+                return  # cancelled while queued: the tombstone is skipped
+            self._remote[job.id] = job
+        payload = {
+            "requests": [request.to_dict() for request in job.requests],
+            "batch": job.batch,
+        }
+        try:
+            self.broker.publish(job.id, payload)
+        except Exception as error:  # noqa: BLE001 - broker faults must not kill the service
+            message = str(error.args[0]) if error.args else str(error)
+            with self._lock:
+                if job.status is not JobStatus.QUEUED:
+                    return
+                job.error = f"{type(error).__name__}: {message}"
+                job.status = JobStatus.FAILED
+                job.finished = time.time()
+                self.failed += 1
+            self._finalize(job)
+
+    def _watch(self) -> None:
+        """Follow published jobs through the broker until terminal.
+
+        The watcher is also the deployment's reaper of last resort: it
+        re-queues expired leases every tick, so jobs survive even when
+        every worker has died (they execute once a worker returns).
+        """
+        while True:
+            with self._lock:
+                remote = list(self._remote.values())
+            if remote:
+                try:
+                    self.broker.reap()
+                except Exception:  # noqa: BLE001 - transient broker IO: retry next tick
+                    pass
+                for job in remote:
+                    try:
+                        snapshot = self.broker.snapshot(job.id)
+                    except Exception:  # noqa: BLE001 - includes not-yet-published races
+                        continue
+                    self._observe(job, snapshot)
+            if self._stop.wait(self.broker_poll):
+                # Graceful drain: keep following already-published jobs;
+                # exit once none remain (close() bounds the wait).
+                with self._lock:
+                    if not self._remote:
+                        return
+
+    def _observe(self, job: Job, snapshot: dict[str, Any]) -> None:
+        """Fold the broker's view of one published job into its document."""
+        state = snapshot["state"]
+        terminal = False
+        with self._lock:
+            if job.status.terminal:
+                return
+            if snapshot.get("attempts") is not None:
+                job.attempts = snapshot["attempts"]
+            if snapshot.get("worker") is not None:
+                job.worker = snapshot["worker"]
+            if state == "leased" and job.status is JobStatus.QUEUED:
+                job.status = JobStatus.RUNNING
+                job.started = time.time()
+            elif state in _REMOTE_QUEUED and job.status is JobStatus.RUNNING:
+                # The lease expired: the job is pending re-delivery.
+                job.status = JobStatus.QUEUED
+            elif state == "done":
+                job.results = snapshot["results"]
+                job.status = JobStatus.DONE
+                job.finished = snapshot.get("finished") or time.time()
+                self.completed += 1
+                terminal = True
+            elif state == "dead":
+                attempts = snapshot.get("attempts")
+                error = snapshot.get("error") or "no error recorded"
+                job.error = f"dead-letter after {attempts} attempts: {error}"
+                job.status = JobStatus.FAILED
+                job.finished = snapshot.get("finished") or time.time()
+                self.failed += 1
+                terminal = True
+        if terminal:
+            self._finalize(job)
+
+    def _finalize(self, job: Job) -> None:
+        # Store before unlisting so job() never sees a gap (same protocol
+        # as _execute's terminal hand-off).  put_new keeps the first copy
+        # when several front ends share one disk store.
+        self.store.put_new(job.id, job.to_dict())
+        with self._lock:
+            self._live.pop(job.id, None)
+            self._remote.pop(job.id, None)
         job.done_event.set()

@@ -87,6 +87,11 @@ class Job:
     finished: float | None = None
     error: str | None = None
     results: list[dict] | None = None
+    #: Broker-dispatch provenance: the executing fleet worker's id and
+    #: how many lease deliveries the job took (1 = no re-delivery).
+    #: Both stay ``None`` in single-process mode.
+    worker: str | None = None
+    attempts: int | None = None
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
 
     def to_dict(self) -> dict[str, Any]:
@@ -101,6 +106,8 @@ class Job:
             "finished": self.finished,
             "error": self.error,
             "results": self.results,
+            "worker": self.worker,
+            "attempts": self.attempts,
         }
 
 

@@ -34,6 +34,21 @@ class ResultStore:
     def put(self, job_id: str, document: dict[str, Any]) -> None:
         raise NotImplementedError
 
+    def put_new(self, job_id: str, document: dict[str, Any]) -> bool:
+        """Store only if absent; ``True`` when this call created the entry.
+
+        The distributed path needs first-write-wins: several front ends
+        (or a watcher re-observing a terminal broker job) may hand the
+        same finished document to one shared store, and the first copy
+        must not be clobbered.  The base implementation is
+        check-then-put; subclasses with real concurrency override it
+        with an atomic primitive.
+        """
+        if self.get(job_id) is not None:
+            return False
+        self.put(job_id, document)
+        return True
+
     def get(self, job_id: str) -> dict[str, Any] | None:
         raise NotImplementedError
 
@@ -59,6 +74,15 @@ class MemoryResultStore(ResultStore):
             self._documents[job_id] = document
             while self.max_entries is not None and len(self._documents) > self.max_entries:
                 self._documents.pop(next(iter(self._documents)))
+
+    def put_new(self, job_id: str, document: dict[str, Any]) -> bool:
+        with self._lock:
+            if job_id in self._documents:
+                return False
+            self._documents[job_id] = document
+            while self.max_entries is not None and len(self._documents) > self.max_entries:
+                self._documents.pop(next(iter(self._documents)))
+            return True
 
     def get(self, job_id: str) -> dict[str, Any] | None:
         with self._lock:
@@ -94,6 +118,23 @@ class DiskResultStore(ResultStore):
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(document, handle)
             os.replace(tmp, path)
+
+    def put_new(self, job_id: str, document: dict[str, Any]) -> bool:
+        # os.link refuses to overwrite, so first-write-wins holds across
+        # *processes* sharing the directory, not just threads — which is
+        # the N-front-ends/one-store deployment this store exists for.
+        path = self._path(job_id)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with self._lock:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(document, handle)
+            try:
+                os.link(tmp, path)
+                return True
+            except FileExistsError:
+                return False
+            finally:
+                os.unlink(tmp)
 
     def get(self, job_id: str) -> dict[str, Any] | None:
         try:

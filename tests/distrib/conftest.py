@@ -1,0 +1,39 @@
+"""Shared fixtures for the distrib suite: brokers on a hand-driven clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distrib import FileBroker, MemoryBroker
+
+
+class FakeClock:
+    """An injectable clock the tests advance by hand (no sleeping)."""
+
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture(params=["memory", "file"])
+def broker_factory(request, tmp_path):
+    """A factory building a fresh broker of the parametrized kind.
+
+    Both brokers run the same assertions: the at-least-once semantics
+    are the contract, not an implementation detail.
+    """
+    def make(**policy):
+        if request.param == "memory":
+            return MemoryBroker(**policy)
+        return FileBroker(str(tmp_path / "broker"), **policy)
+    return make

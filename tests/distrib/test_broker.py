@@ -1,0 +1,149 @@
+"""Broker contract tests, run identically against both shipping brokers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distrib import FileBroker, MemoryBroker, connect_broker
+from repro.distrib.broker import BrokerError, UnknownBrokerJobError
+
+
+def test_publish_lease_complete_lifecycle(broker_factory):
+    broker = broker_factory()
+    broker.publish("job-1", {"requests": [{"n": 1}], "batch": False})
+    assert broker.snapshot("job-1")["state"] == "pending"
+
+    lease = broker.lease("w1")
+    assert lease is not None
+    assert lease.job_id == "job-1"
+    assert lease.attempt == 1
+    assert lease.payload == {"requests": [{"n": 1}], "batch": False}
+    snap = broker.snapshot("job-1")
+    assert snap["state"] == "leased"
+    assert snap["worker"] == "w1"
+
+    assert broker.complete("job-1", "w1", [{"mpki": 1.0}]) is True
+    snap = broker.snapshot("job-1")
+    assert snap["state"] == "done"
+    assert snap["results"] == [{"mpki": 1.0}]
+    assert snap["attempts"] == 1
+    assert broker.counts()["done"] == 1
+
+
+def test_republishing_an_id_is_an_error(broker_factory):
+    broker = broker_factory()
+    broker.publish("job-1", {})
+    with pytest.raises(BrokerError):
+        broker.publish("job-1", {})
+
+
+def test_unknown_job_raises(broker_factory):
+    broker = broker_factory()
+    with pytest.raises(UnknownBrokerJobError):
+        broker.snapshot("never-seen")
+    with pytest.raises(UnknownBrokerJobError):
+        broker.cancel("never-seen")
+
+
+def test_delivery_is_fifo(broker_factory):
+    broker = broker_factory()
+    for index in range(5):
+        broker.publish(f"job-{index}", {"index": index})
+    order = [broker.lease("w1").job_id for _ in range(5)]
+    assert order == [f"job-{index}" for index in range(5)]
+    assert broker.lease("w1") is None
+
+
+def test_a_job_is_leased_to_exactly_one_worker(broker_factory):
+    broker = broker_factory()
+    broker.publish("job-1", {})
+    first = broker.lease("w1")
+    second = broker.lease("w2")
+    assert first is not None
+    assert second is None  # the lease is exclusive until it expires
+
+
+def test_cancel_only_while_pending(broker_factory):
+    broker = broker_factory()
+    broker.publish("job-1", {})
+    broker.publish("job-2", {})
+    lease = broker.lease("w1")
+    assert lease.job_id == "job-1"
+
+    assert broker.cancel("job-1") is False  # leased: the worker owns it
+    assert broker.cancel("job-2") is True
+    assert broker.snapshot("job-2")["state"] == "cancelled"
+    assert broker.cancel("job-2") is False  # terminal now
+    assert broker.lease("w2") is None  # the cancelled job is not delivered
+    assert broker.counts()["cancelled"] == 1
+
+
+def test_worker_registry_and_stats(broker_factory, fake_clock):
+    clock = fake_clock
+    broker = broker_factory(worker_ttl=30.0, clock=clock)
+    broker.register_worker("w1", {"backends": ["interp"], "cores": 4})
+    broker.register_worker("w2", {"backends": ["interp", "numpy"], "cores": 8})
+
+    clock.advance(10.0)
+    broker.worker_heartbeat("w1", completed=3, failed=1)
+    clock.advance(25.0)  # w2's registration heartbeat is now 35s old
+
+    rows = broker.workers()
+    assert [row["id"] for row in rows] == ["w1", "w2"]
+    w1, w2 = rows
+    assert w1["alive"] and w1["heartbeat_age"] == pytest.approx(25.0)
+    assert w1["completed"] == 3 and w1["failed"] == 1
+    assert not w2["alive"]
+    assert w2["capabilities"]["backends"] == ["interp", "numpy"]
+
+    stats = broker.stats()
+    assert stats["workers_alive"] == 1
+    assert set(stats["jobs"]) == {"pending", "leased", "done", "dead", "cancelled"}
+
+    broker.deregister_worker("w1")
+    assert [row["id"] for row in broker.workers()] == ["w2"]
+
+
+def test_heartbeat_for_unregistered_worker_raises(broker_factory):
+    broker = broker_factory()
+    with pytest.raises(BrokerError):
+        broker.worker_heartbeat("ghost")
+
+
+def test_file_broker_rejects_hostile_ids(tmp_path):
+    broker = FileBroker(str(tmp_path / "broker"))
+    with pytest.raises(ValueError):
+        broker.publish("../escape", {})
+
+
+def test_file_broker_state_is_shared_between_instances(tmp_path):
+    """Two FileBroker objects on one directory see one queue (the
+    cross-process deployment, exercised here without processes)."""
+    root = str(tmp_path / "broker")
+    front = FileBroker(root)
+    worker_side = FileBroker(root)
+    front.publish("job-1", {"n": 1})
+    lease = worker_side.lease("w1")
+    assert lease is not None and lease.payload == {"n": 1}
+    assert worker_side.complete("job-1", "w1", ["ok"]) is True
+    assert front.snapshot("job-1")["state"] == "done"
+    assert front.snapshot("job-1")["results"] == ["ok"]
+
+
+def test_connect_broker_specs(tmp_path):
+    assert isinstance(connect_broker("memory"), MemoryBroker)
+    file_broker = connect_broker(str(tmp_path / "b"), visibility=7.0)
+    assert isinstance(file_broker, FileBroker)
+    assert file_broker.visibility == 7.0
+    with pytest.raises(ValueError):
+        connect_broker("")
+
+
+def test_redis_spec_without_redis_package_is_a_clear_error():
+    try:
+        import redis  # noqa: F401
+        pytest.skip("redis is installed here; the lazy-import error cannot fire")
+    except ImportError:
+        pass
+    with pytest.raises(BrokerError, match="optional 'redis' package"):
+        connect_broker("redis://localhost:6379/0")

@@ -1,0 +1,82 @@
+"""The fleet-facing CLI verbs: ``repro fleet`` and ``repro worker``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.api.cli import main
+from repro.distrib import FileBroker
+
+
+def run_cli(capsys, *argv) -> tuple[int, str]:
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def seeded_broker(tmp_path) -> str:
+    root = str(tmp_path / "broker")
+    broker = FileBroker(root)
+    broker.publish("job-1", {"requests": [], "batch": False})
+    broker.register_worker("w1", {"backends": ["interp", "numpy"], "cores": 4})
+    broker.register_worker("w2", {"backends": ["interp"], "cores": 2})
+    broker.worker_heartbeat("w1", completed=5, failed=1)
+    return root
+
+
+def test_fleet_renders_a_worker_table(capsys, tmp_path):
+    code, out = run_cli(capsys, "fleet", "--broker", seeded_broker(tmp_path))
+    assert code == 0
+    assert "pending=1" in out
+    header, *rows = [line for line in out.splitlines() if line.strip()][1:]
+    assert all(column in header for column in
+               ("worker", "alive", "heartbeat", "done", "failed", "backends"))
+    w1_row = next(row for row in rows if row.startswith("w1"))
+    assert "interp,numpy" in w1_row and " 5 " in f" {w1_row} "
+
+
+def test_fleet_json_is_the_stats_document(capsys, tmp_path):
+    code, out = run_cli(capsys, "fleet", "--broker", seeded_broker(tmp_path),
+                        "--json")
+    assert code == 0
+    fleet = json.loads(out)
+    assert fleet["jobs"]["pending"] == 1
+    assert [worker["id"] for worker in fleet["workers"]] == ["w1", "w2"]
+    assert fleet["workers"][0]["completed"] == 5
+    assert fleet["workers_alive"] == 2
+
+
+def test_fleet_reports_an_empty_fleet(capsys, tmp_path):
+    root = str(tmp_path / "empty")
+    FileBroker(root)  # create the directory layout
+    code, out = run_cli(capsys, "fleet", "--broker", root)
+    assert code == 0
+    assert "no workers registered" in out
+
+
+def test_fleet_against_unreachable_service_is_a_cli_error(capsys):
+    code, _ = run_cli(capsys, "fleet", "--url", "http://127.0.0.1:1")
+    assert code == 2  # CLIError, not a traceback
+
+
+def test_worker_requires_a_broker(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_BROKER", raising=False)
+    code, _ = run_cli(capsys, "worker")
+    assert code == 2
+
+
+def test_worker_executes_a_published_job(capsys, tmp_path, monkeypatch):
+    root = str(tmp_path / "broker")
+    broker = FileBroker(root)
+    broker.publish("job-1", {
+        "requests": [{"predictor": {"kind": "gshare"},
+                      "trace": "synthetic:biased?length=250&seed=4"}],
+        "batch": False,
+    })
+    # The broker spec also resolves from the environment, like the serve verb.
+    monkeypatch.setenv("REPRO_BROKER", root)
+    code, out = run_cli(capsys, "worker", "--id", "cli-worker", "--workers", "1",
+                        "--max-jobs", "1", "--poll", "0.01")
+    assert code == 0
+    assert "processed 1 job(s)" in out
+    snap = broker.snapshot("job-1")
+    assert snap["state"] == "done" and snap["worker"] == "cli-worker"
