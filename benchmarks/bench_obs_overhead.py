@@ -1,0 +1,74 @@
+"""Observability tax: the same sweep with metrics on vs. off.
+
+Not a paper experiment — this bench guards the instrumentation added in
+:mod:`repro.obs`.  Every hot boundary (batch planning, kernel dispatch,
+cache lookups, pool tasks) touches the process-global registry, so this
+file runs a fig9-style size sweep twice:
+
+* **metrics off** — a disabled :class:`~repro.obs.MetricsRegistry`
+  (the ``REPRO_METRICS=off`` configuration): every mutator is a no-op,
+* **metrics on** — the default enabled registry.
+
+Each configuration runs several rounds and the minima are compared —
+min-of-rounds is the standard way to strip scheduler noise from a
+shared 1-CPU box.  The acceptance bar from the observability issue:
+metrics-on must stay within 5% of metrics-off (plus a small absolute
+grace so micro runs with sub-second sweeps don't flap on timer noise).
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once, suite_runner
+from repro.obs import MetricsRegistry, set_metrics
+
+ROUNDS = 3
+OVERHEAD_LIMIT = 0.05
+ABSOLUTE_GRACE_SECONDS = 0.15  # timer/scheduler noise floor per round
+
+SIZE_FACTORS = (-1, 0, 1)  # fig9-style: sweep the table size around 1x
+
+
+def _sweep(bench_suite) -> None:
+    for factor in SIZE_FACTORS:
+        bound = suite_runner("gshare", log2_entries=14 + factor)
+        results = bound.run(bench_suite)
+        assert results
+        bound.runner.close()
+
+
+def _measure(bench_suite, enabled: bool) -> float:
+    best = float("inf")
+    previous = set_metrics(MetricsRegistry(enabled=enabled))
+    try:
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            _sweep(bench_suite)
+            best = min(best, time.perf_counter() - start)
+    finally:
+        set_metrics(previous)
+    return best
+
+
+def test_bench_obs_overhead(benchmark, bench_suite):
+    def measure():
+        # Warm-up outside the timed rounds: JIT-free Python still pays
+        # first-touch costs (imports, trace materialization, allocator).
+        _sweep(bench_suite)
+        off = _measure(bench_suite, enabled=False)
+        on = _measure(bench_suite, enabled=True)
+        return off, on
+
+    off, on = run_once(benchmark, measure)
+    overhead = (on - off) / off if off > 0 else 0.0
+    print(f"\nmetrics off: {1000 * off:.1f} ms/sweep (min of {ROUNDS})")
+    print(f"metrics on:  {1000 * on:.1f} ms/sweep (min of {ROUNDS})")
+    print(f"overhead:    {100 * overhead:+.2f}% (limit {100 * OVERHEAD_LIMIT:.0f}%)")
+    benchmark.extra_info["metrics_off_ms"] = round(1000 * off, 2)
+    benchmark.extra_info["metrics_on_ms"] = round(1000 * on, 2)
+    benchmark.extra_info["overhead_pct"] = round(100 * overhead, 2)
+    assert on <= off * (1 + OVERHEAD_LIMIT) + ABSOLUTE_GRACE_SECONDS, (
+        f"metrics-on sweep {on:.3f}s vs metrics-off {off:.3f}s "
+        f"exceeds the {100 * OVERHEAD_LIMIT:.0f}% observability budget"
+    )

@@ -16,6 +16,7 @@ references and the named experiments)::
     repro serve --broker /shared/broker --store-dir /shared/results
     repro worker --broker /shared/broker --workers 4
     repro fleet --url http://127.0.0.1:8321
+    repro top --url http://127.0.0.1:8321 [--metrics]
     repro submit tage --url http://127.0.0.1:8321 --trace hard:MM05 --json
     repro cancel job-3-0a1b2c3d --url http://127.0.0.1:8321
 
@@ -33,6 +34,7 @@ import dataclasses
 import json
 import os
 import sys
+import time
 from typing import Any, Sequence
 
 from repro.api.config import (
@@ -45,6 +47,16 @@ from repro.api.experiments import available_experiments, find_experiment
 from repro.api.request import RunRequest
 from repro.api.results import suite_payload
 from repro.api.runner import Runner, using_runner
+from repro.obs import (
+    JsonFormatter,
+    bind_trace_id,
+    configure_logging,
+    get_logger,
+    get_metrics,
+    log_event,
+    new_trace_id,
+    valid_trace_id,
+)
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.parallel import SuiteCache
 from repro.predictors.registry import PredictorSpec, backend_support, describe
@@ -82,6 +94,16 @@ def _parse_backend(value: str) -> str:
         return parse_backend(value)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _parse_trace_id(value: str) -> str:
+    # Rejected rather than sanitised: a silently rewritten id would
+    # never match the caller's grep.
+    if not valid_trace_id(value):
+        raise argparse.ArgumentTypeError(
+            f"invalid trace id {value!r} (1-80 chars of [A-Za-z0-9._:-])"
+        )
+    return value
 
 
 def _add_runner_options(parser: argparse.ArgumentParser) -> None:
@@ -187,6 +209,40 @@ def _print_json(payload: Any) -> None:
     print(json.dumps(payload, indent=2, sort_keys=False))
 
 
+def _snapshot_sum(snapshot: dict, name: str) -> float:
+    """Total across all label sets (histograms: the _sum series)."""
+    record = snapshot.get(name)
+    if not record:
+        return 0.0
+    if record["kind"] == "histogram":
+        return sum(entry[1] for entry in record["values"].values())
+    return float(sum(record["values"].values()))
+
+
+def _snapshot_by_label(snapshot: dict, name: str) -> dict[str, float]:
+    """Per-label-value totals (histograms: observation counts)."""
+    record = snapshot.get(name)
+    if not record:
+        return {}
+    out: dict[str, float] = {}
+    for encoded, value in record["values"].items():
+        key = ",".join(json.loads(encoded)) or "_"
+        out[key] = value[2] if record["kind"] == "histogram" else value
+    return out
+
+
+def _batch_timings(snapshot: dict, wall_seconds: float) -> dict[str, Any]:
+    """The ``repro run --timings`` section, from the metrics snapshot."""
+    return {
+        "wall_seconds": round(wall_seconds, 6),
+        "plan_seconds": round(_snapshot_sum(snapshot, "repro_runner_plan_seconds"), 6),
+        "kernel_seconds": round(_snapshot_sum(snapshot, "repro_backend_kernel_seconds"), 6),
+        "pool_task_seconds": round(_snapshot_sum(snapshot, "repro_pool_task_seconds"), 6),
+        "scheduled": _snapshot_by_label(snapshot, "repro_sched_tasks_total"),
+        "cache": _snapshot_by_label(snapshot, "repro_cache_lookups_total"),
+    }
+
+
 def _format_table(headers: list[str], rows: list[list]) -> str:
     from repro.analysis.reporting import format_table
 
@@ -260,10 +316,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _print_result_payloads(payloads)
         return 0
 
-    with Runner(_runner_config(args)) as runner:
-        results = runner.run_batch(requests)
+    with bind_trace_id(new_trace_id()) as trace_id:
+        started = time.perf_counter()
+        with Runner(_runner_config(args)) as runner:
+            results = runner.run_batch(requests)
+        wall_seconds = time.perf_counter() - started
     payloads = [_suite_payload(request, result) for request, result in zip(requests, results)]
-    if args.json:
+    if args.timings:
+        # Opt-in wrapper: the default --json shape stays byte-identical
+        # with service/fleet results, which CI diffs against this output.
+        timings = _batch_timings(get_metrics().snapshot(), wall_seconds)
+        if args.json:
+            _print_json({
+                "trace_id": trace_id,
+                "results": payloads[0] if len(payloads) == 1 else payloads,
+                "timings": timings,
+            })
+        else:
+            for request, result in zip(requests, results):
+                print(f"{request.trace} {request.scenario.label}: {result.summary()}")
+            print(f"trace_id {trace_id}: wall {timings['wall_seconds']:.3f}s, "
+                  f"plan {timings['plan_seconds']:.3f}s, "
+                  f"kernel {timings['kernel_seconds']:.3f}s, "
+                  f"pool {timings['pool_task_seconds']:.3f}s")
+            scheduled = ", ".join(f"{k}={int(v)}" for k, v in sorted(timings["scheduled"].items()))
+            cache = ", ".join(f"{k}={int(v)}" for k, v in sorted(timings["cache"].items()))
+            print(f"scheduled: {scheduled or '-'}; cache: {cache or '-'}")
+    elif args.json:
         _print_result_payloads(payloads)
     else:
         for request, result in zip(requests, results):
@@ -404,6 +483,23 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _banner(message: str, **fields: Any) -> None:
+    """A long-running command's status line: print, or log when JSON is on.
+
+    ``serve`` and ``worker`` redirect their output to log files that CI
+    (and any log shipper) parses line by line; a bare ``print`` would be
+    the one non-JSON line in the stream.
+    """
+    import logging
+
+    handlers = logging.getLogger("repro").handlers
+    if any(isinstance(handler.formatter, JsonFormatter) for handler in handlers):
+        log_event(get_logger("cli"), logging.INFO, message, **fields)
+    else:
+        tail = " ".join(f"{key}={value}" for key, value in fields.items())
+        print(f"{message} {tail}".rstrip(), flush=True)
+
+
 def _install_drain_handlers(stop: "threading.Event") -> None:
     """SIGTERM/SIGINT set the drain flag instead of killing the process.
 
@@ -451,8 +547,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     stop = threading.Event()
     _install_drain_handlers(stop)
     with service:
-        print(f"repro service listening on {server.url} "
-              f"({mode}, queue={args.queue_size})", flush=True)
+        _banner(f"repro service listening on {server.url}",
+                mode=mode, queue=args.queue_size)
         # serve_forever runs on a helper thread so the main thread can
         # take SIGTERM/SIGINT and drain gracefully: stop accepting,
         # finish in-flight jobs (service.close inside the with-exit),
@@ -464,7 +560,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             stop.wait()
         except KeyboardInterrupt:
             pass  # no handler installed (non-main thread): same drain path
-        print("draining: finishing in-flight jobs, then exiting", flush=True)
+        _banner("draining: finishing in-flight jobs, then exiting")
         server.shutdown()
         pump.join()
         server.server_close()
@@ -493,14 +589,13 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             worker.request_stop()
 
     _install_drain_handlers(_Drain())  # type: ignore[arg-type]
-    print(f"repro worker {worker.worker_id} leasing from {broker.describe()} "
-          f"(poll={worker.poll_interval}s, visibility={broker.visibility}s)",
-          flush=True)
+    _banner(f"repro worker {worker.worker_id} leasing from {broker.describe()}",
+            poll=worker.poll_interval, visibility=broker.visibility)
     try:
         processed = worker.run(max_jobs=args.max_jobs)
     finally:
         broker.close()
-    print(f"worker {worker.worker_id}: processed {processed} job(s)", flush=True)
+    _banner(f"worker {worker.worker_id}: processed {processed} job(s)")
     return 0
 
 
@@ -529,24 +624,82 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     workers = fleet.get("workers", [])
     if not workers:
         print("no workers registered")
+    else:
+        rows = []
+        for worker in workers:
+            capabilities = worker.get("capabilities", {})
+            backends = ",".join(capabilities.get("backends", [])) or "-"
+            rows.append([
+                worker.get("id", "?"),
+                "yes" if worker.get("alive") else "NO",
+                f"{worker.get('heartbeat_age', 0.0):.1f}s",
+                worker.get("completed", 0),
+                worker.get("failed", 0),
+                backends,
+                capabilities.get("cores", "-"),
+            ])
+        print(_format_table(
+            ["worker", "alive", "heartbeat", "done", "failed", "backends", "cores"],
+            rows,
+        ))
+    _print_dead_letters(fleet.get("dead_letters"))
+    return 0
+
+
+def _print_dead_letters(dead: Any) -> None:
+    """The per-job last-error lines under ``repro fleet`` / ``repro top``."""
+    if not dead:
+        return
+    print("dead letters:")
+    for row in dead:
+        print(f"  {row.get('id', '?')} (attempts {row.get('attempts', '?')}): "
+              f"{row.get('error') or 'no error recorded'}")
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.metrics:
+            text = client.metrics()
+            print(text, end="" if text.endswith("\n") else "\n")
+            return 0
+        stats = client.stats()
+    except ServiceClientError as error:
+        raise CLIError(f"top: {error}") from None
+    if args.json:
+        _print_json(stats)
         return 0
-    rows = []
-    for worker in workers:
-        capabilities = worker.get("capabilities", {})
-        backends = ",".join(capabilities.get("backends", [])) or "-"
-        rows.append([
-            worker.get("id", "?"),
-            "yes" if worker.get("alive") else "NO",
-            f"{worker.get('heartbeat_age', 0.0):.1f}s",
-            worker.get("completed", 0),
-            worker.get("failed", 0),
-            backends,
-            capabilities.get("cores", "-"),
-        ])
-    print(_format_table(
-        ["worker", "alive", "heartbeat", "done", "failed", "backends", "cores"],
-        rows,
-    ))
+    queue = stats.get("queue", {})
+    jobs = stats.get("jobs", {})
+    dispatcher = stats.get("dispatcher", {})
+    print(f"service {client.base_url}: mode={stats.get('mode', '?')}, "
+          f"up {stats.get('uptime_seconds', 0.0):.0f}s")
+    print(f"queue {queue.get('depth', 0)}/{queue.get('capacity', '?')}, "
+          f"dispatcher utilization {dispatcher.get('utilization', 0.0):.1%}")
+    print("jobs: " + ", ".join(
+        f"{state}={count}" for state, count in sorted(jobs.items())))
+    pool = stats.get("pool")
+    if pool:
+        print("pool: " + ", ".join(f"{key}={value}" for key, value in sorted(pool.items())))
+    cache = stats.get("result_cache")
+    if cache:
+        print(f"cache: {cache.get('entries', 0)} entries, "
+              f"{cache.get('bytes', 0)} bytes, "
+              f"hit rate {cache.get('hit_rate', 0.0):.1%}")
+    fleet = stats.get("fleet")
+    if fleet:
+        if "error" in fleet and "jobs" not in fleet:
+            print(f"fleet: unavailable ({fleet['error']})")
+        else:
+            broker_jobs = fleet.get("jobs", {})
+            states = ", ".join(f"{state}={count}"
+                               for state, count in sorted(broker_jobs.items()))
+            print(f"fleet {fleet.get('broker', '?')}: {states}; "
+                  f"{fleet.get('workers_alive', 0)}/{len(fleet.get('workers', []))} "
+                  f"workers alive")
+            _print_dead_letters(fleet.get("dead_letters"))
     return 0
 
 
@@ -556,13 +709,18 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     requests = _build_requests(args, "submit")
     client = ServiceClient(args.url)
+    # Minted client-side (unless --trace-id pins it) so the submitting
+    # process can grep its own logs by the same id the service echoes.
+    trace_id = args.trace_id or new_trace_id()
     try:
         if args.no_wait:
-            document = client.submit(requests)
+            document = client.submit(requests, trace_id=trace_id)
         elif args.sync:
-            document = client.submit(requests, wait=True, timeout=args.timeout)
+            document = client.submit(requests, wait=True, timeout=args.timeout,
+                                     trace_id=trace_id)
         else:
-            document = client.run(requests, timeout=args.timeout)
+            document = client.run(requests, timeout=args.timeout,
+                                  trace_id=trace_id)
     except ServiceClientError as error:
         raise CLIError(f"submit: {error}") from None
 
@@ -619,6 +777,13 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Registry-driven branch-predictor simulation runner "
                     "(a reproduction of Seznec's MICRO 2011 TAGE paper).",
     )
+    parser.add_argument("--log-level", default=None, metavar="LEVEL",
+                        choices=["debug", "info", "warning", "error", "critical"],
+                        help="logging level for the repro logger "
+                             "(default: REPRO_LOG, else warning)")
+    parser.add_argument("--log-json", action="store_true", default=None,
+                        help="emit one JSON object per log line "
+                             "(default: REPRO_LOG_JSON)")
     sub = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
 
     run = sub.add_parser(
@@ -637,6 +802,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dump-request", action="store_true",
                      help="print the request JSON and exit without simulating")
     run.add_argument("--json", action="store_true", help="machine-readable output")
+    run.add_argument("--timings", action="store_true",
+                     help="append a trace_id + timings section (plan/kernel/"
+                          "pool seconds, cache hits) after the results")
     _add_pipeline_options(run)
     _add_shard_options(run)
     _add_runner_options(run)
@@ -794,10 +962,28 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--backend", type=_parse_backend, default=None, metavar="NAME",
                         help="execution backend requested from the service "
                              "(rides the submitted request)")
+    submit.add_argument("--trace-id", type=_parse_trace_id, default=None, metavar="ID",
+                        help="trace id to follow the job through service and "
+                             "worker logs (default: minted client-side)")
     submit.add_argument("--json", action="store_true", help="machine-readable output")
     _add_pipeline_options(submit)
     _add_shard_options(submit)
     submit.set_defaults(func=_cmd_submit)
+
+    top = sub.add_parser(
+        "top", help="show a running service's queue, jobs and fleet at a glance",
+        description="Render GET /v1/stats as a short operator summary: queue "
+                    "depth, job counters, dispatcher utilization, pool and "
+                    "cache health, plus the broker fleet and its dead letters "
+                    "in broker mode.  --metrics dumps the raw Prometheus text "
+                    "from GET /v1/metrics instead.",
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8321", metavar="URL",
+                     help="service base URL (default http://127.0.0.1:8321)")
+    top.add_argument("--metrics", action="store_true",
+                     help="print the raw /v1/metrics exposition and exit")
+    top.add_argument("--json", action="store_true", help="machine-readable output")
+    top.set_defaults(func=_cmd_top)
 
     cancel = sub.add_parser(
         "cancel", help="cancel a queued job on a repro service",
@@ -820,6 +1006,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
+        configure_logging(level=args.log_level, json_mode=args.log_json)
         if args.command == "suite" and not args.scenario:
             args.scenario = ["I"]
         if getattr(args, "trace", None):

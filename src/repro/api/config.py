@@ -34,6 +34,11 @@ Environment variables (read by :meth:`RunnerConfig.from_env`):
     Execution backend (:mod:`repro.backends`): ``interp`` (default) or
     ``numpy``.  A per-request ``backend`` overrides this; the CLI
     ``--backend`` flag overrides both (env < request < CLI).
+``REPRO_LOG`` / ``REPRO_LOG_JSON``
+    Structured-logging level (``debug``/``info``/``warning``/``error``/
+    ``critical``; default ``warning``) and JSON-lines mode for the
+    ``repro`` logger (see :mod:`repro.obs.logs`).  The CLI's
+    ``--log-level`` / ``--log-json`` flags override both.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ import os
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.obs import ENV_LOG, ENV_LOG_JSON, parse_log_level
 from repro.pipeline.parallel import SuiteCache
 
 __all__ = [
@@ -206,8 +212,15 @@ class RunnerConfig:
     auto_shard_branches: int | None = DEFAULT_AUTO_SHARD_BRANCHES
     backend: str | None = None
     backend_forced: bool = False
+    #: Logging defaults (see :mod:`repro.obs.logs`): ``None`` means
+    #: "not configured here" — the CLI falls through to the env and the
+    #: warning-level default.
+    log_level: str | None = None
+    log_json: bool | None = None
 
     def __post_init__(self) -> None:
+        if self.log_level is not None:
+            object.__setattr__(self, "log_level", parse_log_level(self.log_level))
         if self.backend is not None and not isinstance(self.backend, str):
             raise ValueError(f"backend must be a name or None, got {self.backend!r}")
         if self.backend is not None:
@@ -276,6 +289,12 @@ class RunnerConfig:
         )
         raw_backend = (env.get(ENV_BACKEND) or "").strip()
         backend = parse_backend(raw_backend, context=ENV_BACKEND) if raw_backend else None
+        try:
+            log_level = parse_log_level(env.get(ENV_LOG))
+        except ValueError as error:
+            raise ValueError(f"{ENV_LOG}: {error}") from None
+        raw_log_json = (env.get(ENV_LOG_JSON) or "").strip().lower()
+        log_json = raw_log_json in {"1", "true", "yes", "on"} if raw_log_json else None
         return cls(
             workers=workers,
             cache_dir=cache_dir,
@@ -283,6 +302,8 @@ class RunnerConfig:
             cache_max_mb=cache_max_mb,
             auto_shard_branches=auto_shard,
             backend=backend,
+            log_level=log_level,
+            log_json=log_json,
         )
 
     @property

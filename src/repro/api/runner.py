@@ -30,11 +30,13 @@ exit and Ctrl-C) shuts the pool down without orphaning workers.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.api.config import RunnerConfig
+from repro.obs import get_metrics
 from repro.api.request import RunRequest, coerce_scenario, validate_shard_coverage
 from repro.backends import DEFAULT_BACKEND
 from repro.pipeline.config import PipelineConfig
@@ -228,6 +230,8 @@ class Runner:
         exact chain can even serve a later whole-trace request (and
         vice versa).
         """
+        registry = get_metrics()
+        batch_start = time.perf_counter()
         validate_shard_coverage(requests)
         flat: list[tuple] = []
         flat_backends: list[str] = []
@@ -286,6 +290,12 @@ class Runner:
         pending = [
             chain for chain, cached in zip(chains, chain_cached) if cached is None
         ]
+        # Planning covers trace resolution, shard planning and cache
+        # probes — everything before the scheduling pass takes over.
+        registry.histogram(
+            "repro_runner_plan_seconds",
+            "Batch planning time: resolve, shard-plan, cache-probe.",
+        ).observe(time.perf_counter() - batch_start)
         results, pending_results = run_scheduled(
             flat,
             pending,
@@ -319,6 +329,18 @@ class Runner:
             for result in merged:
                 suite.add(result)
             suites.append(suite)
+        registry.counter(
+            "repro_runner_batches_total", "Batches executed by Runner.run_batch.").inc()
+        registry.counter(
+            "repro_runner_requests_total", "Run requests executed.").inc(len(requests))
+        registry.counter(
+            "repro_runner_tasks_total",
+            "Scheduled tasks (flat + exact shards) produced by batch planning.",
+        ).inc(len(flat) + sum(len(chain.windows) for chain in pending))
+        registry.histogram(
+            "repro_runner_batch_seconds",
+            "End-to-end wall time of one Runner.run_batch call.",
+        ).observe(time.perf_counter() - batch_start)
         return suites
 
     def product(

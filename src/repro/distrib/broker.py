@@ -40,6 +40,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs import get_metrics
+
 __all__ = [
     "Broker",
     "BrokerError",
@@ -131,6 +133,23 @@ class Broker:
         """Delay before re-delivering after ``attempt`` deliveries."""
         return min(self.backoff_base * (2 ** max(attempt - 1, 0)), self.backoff_cap)
 
+    def _note(self, event: str, amount: int = 1) -> None:
+        """Count a delivery event in *this* process' metrics registry.
+
+        Events: ``published``, ``leased``, ``completed``, ``retried``
+        (failure re-queue), ``reaped`` (lease-expiry re-queue) and
+        ``dead_lettered``.  Counts land wherever the broker object lives
+        — the front end for publishes, each worker for its own leases —
+        and meet again on the front end's ``/v1/metrics`` via the
+        worker-heartbeat snapshot merge.
+        """
+        if amount:
+            get_metrics().counter(
+                "repro_broker_events_total",
+                "Broker delivery events by type.",
+                ("event",),
+            ).inc(amount, event=event)
+
     # ------------------------------------------------------------------
     # Job lifecycle
     # ------------------------------------------------------------------
@@ -193,9 +212,20 @@ class Broker:
         raise NotImplementedError
 
     def worker_heartbeat(
-        self, worker_id: str, completed: int | None = None, failed: int | None = None
+        self,
+        worker_id: str,
+        completed: int | None = None,
+        failed: int | None = None,
+        metrics: dict[str, Any] | None = None,
     ) -> None:
-        """Refresh the registration heartbeat (and job counters)."""
+        """Refresh the registration heartbeat (and job counters).
+
+        ``metrics`` is the worker's latest *cumulative* metrics-registry
+        snapshot (:meth:`repro.obs.MetricsRegistry.snapshot`); the broker
+        stores only the most recent one per worker, so a lost heartbeat
+        never loses counts — the next snapshot supersedes it.  Front ends
+        fold these into ``GET /v1/metrics``.
+        """
         raise NotImplementedError
 
     def deregister_worker(self, worker_id: str) -> None:
@@ -219,15 +249,32 @@ class Broker:
         ``cancelled``)."""
         raise NotImplementedError
 
+    def dead_letters(self, limit: int = 20) -> list[dict[str, Any]]:
+        """The most recently dead-lettered jobs, newest first.
+
+        Each row carries ``id``, ``error`` (the last delivery's failure
+        string), ``attempts`` and ``finished`` — enough for ``/v1/stats``
+        and ``repro fleet`` to say *why* a job died without a per-job
+        lookup.  Implementations that do not track dead letters may
+        return an empty list.
+        """
+        return []
+
     def stats(self) -> dict[str, Any]:
         """The fleet document rendered into ``/v1/stats``."""
         now = self._now()
-        workers = self.workers()
+        # Worker rows minus the metrics snapshots they heartbeat in —
+        # those belong to /v1/metrics, not a human-facing stats document.
+        workers = [
+            {key: value for key, value in row.items() if key != "metrics"}
+            for row in self.workers()
+        ]
         return {
             "broker": self.describe(),
             "visibility_timeout": self.visibility,
             "max_attempts": self.max_attempts,
             "jobs": self.counts(),
+            "dead_letters": self.dead_letters(),
             "workers": workers,
             "workers_alive": sum(1 for worker in workers if worker["alive"]),
             "generated": now,

@@ -162,6 +162,7 @@ class FileBroker(Broker):
         if not created:
             raise BrokerError(f"job {job_id!r} is already published")
         self._enqueue(job_id, attempt=1, not_before=now, error=None)
+        self._note("published")
 
     def lease(self, worker_id: str) -> Lease | None:
         self.reap()
@@ -198,6 +199,7 @@ class FileBroker(Broker):
                 "worker": worker_id,
                 "deadline": deadline,
             })
+            self._note("leased")
             return Lease(job_id, record["payload"], ticket["attempt"],
                          deadline, worker_id)
         return None
@@ -229,6 +231,7 @@ class FileBroker(Broker):
             ticket = self._find_ticket(job_id)
             if ticket is not None:
                 self._remove(os.path.join(self.root, "pending", ticket))
+            self._note("completed")
         return won
 
     def fail(self, job_id: str, worker_id: str, error: str) -> None:
@@ -245,9 +248,11 @@ class FileBroker(Broker):
             self._write_exclusive(self._path("dead", job_id), {
                 "error": error, "attempts": attempt, "finished": self._now(),
             })
+            self._note("dead_lettered")
         else:
             self._enqueue(job_id, attempt + 1,
                           self._now() + self.backoff(attempt), error)
+            self._note("retried")
 
     def cancel(self, job_id: str) -> bool:
         if not os.path.exists(self._path("jobs", job_id)):
@@ -302,8 +307,10 @@ class FileBroker(Broker):
                 self._write_exclusive(self._path("dead", job_id), {
                     "error": error, "attempts": attempt, "finished": now,
                 })
+                self._note("dead_lettered")
             else:
                 self._enqueue(job_id, attempt + 1, now + self.backoff(attempt), error)
+                self._note("reaped")
         return reaped
 
     def _release(self, job_id: str, worker_id: str) -> None:
@@ -398,6 +405,27 @@ class FileBroker(Broker):
                 out[state] = 0
         return out
 
+    def dead_letters(self, limit: int = 20) -> list[dict[str, Any]]:
+        directory = os.path.join(self.root, "dead")
+        rows = []
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return rows
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            entry = self._read(os.path.join(directory, name))
+            if entry is not None:
+                rows.append({
+                    "id": name[:-5],
+                    "error": entry.get("error"),
+                    "attempts": entry.get("attempts"),
+                    "finished": entry.get("finished"),
+                })
+        rows.sort(key=lambda row: row["finished"] or 0, reverse=True)
+        return rows[:limit]
+
     # ------------------------------------------------------------------
     # Worker registry
     # ------------------------------------------------------------------
@@ -414,7 +442,11 @@ class FileBroker(Broker):
         })
 
     def worker_heartbeat(
-        self, worker_id: str, completed: int | None = None, failed: int | None = None
+        self,
+        worker_id: str,
+        completed: int | None = None,
+        failed: int | None = None,
+        metrics: dict[str, Any] | None = None,
     ) -> None:
         path = self._path("workers", worker_id)
         record = self._read(path)
@@ -425,6 +457,8 @@ class FileBroker(Broker):
             record["completed"] = completed
         if failed is not None:
             record["failed"] = failed
+        if metrics is not None:
+            record["metrics"] = metrics
         self._write(path, record)
 
     def deregister_worker(self, worker_id: str) -> None:

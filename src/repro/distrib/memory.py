@@ -58,6 +58,7 @@ class MemoryBroker(Broker):
                 "error": None,
             }
             self._enqueue(job_id, attempt=1, not_before=self._now())
+        self._note("published")
 
     def _enqueue(self, job_id: str, attempt: int, not_before: float) -> None:
         self._pending.append(
@@ -81,6 +82,7 @@ class MemoryBroker(Broker):
                     "deadline": deadline,
                 }
                 job = self._jobs[ticket["id"]]
+                self._note("leased")
                 return Lease(ticket["id"], job["payload"], ticket["attempt"],
                              deadline, worker_id)
             return None
@@ -112,7 +114,8 @@ class MemoryBroker(Broker):
             }
             self._drop_lease(job_id, worker_id)
             self._discard_pending(job_id)
-            return True
+        self._note("completed")
+        return True
 
     def fail(self, job_id: str, worker_id: str, error: str) -> None:
         with self._lock:
@@ -131,9 +134,12 @@ class MemoryBroker(Broker):
                     "attempts": attempt,
                     "finished": self._now(),
                 }
+                dead = True
             else:
                 self._enqueue(job_id, attempt + 1,
                               self._now() + self.backoff(attempt))
+                dead = False
+        self._note("dead_lettered" if dead else "retried")
 
     def cancel(self, job_id: str) -> bool:
         with self._lock:
@@ -147,6 +153,7 @@ class MemoryBroker(Broker):
             return False
 
     def reap(self) -> int:
+        dead = 0
         with self._lock:
             now = self._now()
             reaped = 0
@@ -164,9 +171,12 @@ class MemoryBroker(Broker):
                     self._dead[job_id] = {
                         "error": error, "attempts": attempt, "finished": now,
                     }
+                    dead += 1
                 else:
                     self._enqueue(job_id, attempt + 1, now + self.backoff(attempt))
-            return reaped
+        self._note("reaped", reaped - dead)
+        self._note("dead_lettered", dead)
+        return reaped
 
     def _drop_lease(self, job_id: str, worker_id: str) -> None:
         lease = self._leases.get(job_id)
@@ -230,6 +240,16 @@ class MemoryBroker(Broker):
                 "cancelled": len(self._cancelled),
             }
 
+    def dead_letters(self, limit: int = 20) -> list[dict[str, Any]]:
+        with self._lock:
+            rows = [
+                {"id": job_id, "error": entry["error"],
+                 "attempts": entry["attempts"], "finished": entry["finished"]}
+                for job_id, entry in self._dead.items()
+            ]
+        rows.sort(key=lambda row: row["finished"], reverse=True)
+        return rows[:limit]
+
     def describe(self) -> str:
         return "memory"
 
@@ -250,7 +270,11 @@ class MemoryBroker(Broker):
             }
 
     def worker_heartbeat(
-        self, worker_id: str, completed: int | None = None, failed: int | None = None
+        self,
+        worker_id: str,
+        completed: int | None = None,
+        failed: int | None = None,
+        metrics: dict[str, Any] | None = None,
     ) -> None:
         with self._lock:
             record = self._workers.get(worker_id)
@@ -261,6 +285,8 @@ class MemoryBroker(Broker):
                 record["completed"] = completed
             if failed is not None:
                 record["failed"] = failed
+            if metrics is not None:
+                record["metrics"] = metrics
 
     def deregister_worker(self, worker_id: str) -> None:
         with self._lock:

@@ -249,6 +249,19 @@ class RedisBroker(Broker):
             "cancelled": self._redis.scard(self._key("cancelled_ids")),
         }
 
+    def dead_letters(self, limit: int = 20) -> list[dict[str, Any]]:
+        rows = []
+        for job_id in self._redis.smembers(self._key("dead_ids")):
+            raw = self._redis.get(self._key("dead", job_id))
+            if raw is None:
+                continue
+            doc = json.loads(raw)
+            rows.append({"id": job_id, "error": doc.get("error"),
+                         "attempts": doc.get("attempts"),
+                         "finished": doc.get("finished")})
+        rows.sort(key=lambda row: row["finished"] or 0, reverse=True)
+        return rows[:limit]
+
     # ------------------------------------------------------------------
     # Worker registry
     # ------------------------------------------------------------------
@@ -261,7 +274,11 @@ class RedisBroker(Broker):
         }))
 
     def worker_heartbeat(
-        self, worker_id: str, completed: int | None = None, failed: int | None = None
+        self,
+        worker_id: str,
+        completed: int | None = None,
+        failed: int | None = None,
+        metrics: dict[str, Any] | None = None,
     ) -> None:
         raw = self._redis.hget(self._key("workers"), worker_id)
         if raw is None:
@@ -272,6 +289,8 @@ class RedisBroker(Broker):
             record["completed"] = completed
         if failed is not None:
             record["failed"] = failed
+        if metrics is not None:
+            record["metrics"] = metrics
         self._redis.hset(self._key("workers"), worker_id, json.dumps(record))
 
     def deregister_worker(self, worker_id: str) -> None:

@@ -25,9 +25,11 @@ lease is completed before the loop exits and the worker deregisters.
 
 from __future__ import annotations
 
+import logging
 import os
 import socket
 import threading
+import time
 import uuid
 from typing import Any
 
@@ -37,11 +39,37 @@ from repro.api.results import suite_payload
 from repro.api.runner import Runner
 from repro.backends import available_backends
 from repro.distrib.broker import Broker, Lease, LeaseLostError
+from repro.obs import bind_trace_id, get_logger, get_metrics, log_event
 
 __all__ = ["FleetWorker", "default_capabilities", "new_worker_id"]
 
 #: Idle poll interval between empty lease attempts, seconds.
 DEFAULT_POLL_INTERVAL = 0.2
+
+_LOG = get_logger("distrib.worker")
+
+
+def _job_counter():
+    return get_metrics().counter(
+        "repro_worker_jobs_total",
+        "Jobs processed by this fleet worker, by outcome.",
+        ("outcome",),
+    )
+
+
+def _execute_seconds():
+    return get_metrics().histogram(
+        "repro_worker_execute_seconds",
+        "Wall time of one leased job's run_batch execution.",
+    )
+
+
+def _obs_errors():
+    return get_metrics().counter(
+        "repro_obs_errors_total",
+        "Exceptions swallowed by background threads, by component.",
+        ("component",),
+    )
 
 
 def new_worker_id() -> str:
@@ -122,6 +150,8 @@ class FleetWorker:
         """
         self.broker.register_worker(self.worker_id, default_capabilities(self.runner))
         self._registered = True
+        log_event(_LOG, logging.INFO, "worker registered",
+                  worker=self.worker_id, broker=self.broker.describe())
         processed = 0
         try:
             while not self._stop.is_set():
@@ -140,66 +170,112 @@ class FleetWorker:
             if self._registered:
                 try:
                     self.broker.deregister_worker(self.worker_id)
-                except Exception:  # noqa: BLE001 - deregistration is best-effort
-                    pass
+                except Exception as error:  # noqa: BLE001 - deregistration is best-effort
+                    _obs_errors().inc(component="worker.deregister")
+                    log_event(_LOG, logging.WARNING, "worker deregistration failed",
+                              worker=self.worker_id, error=repr(error))
                 self._registered = False
             self.runner.close()
+        log_event(_LOG, logging.INFO, "worker drained",
+                  worker=self.worker_id, processed=processed,
+                  completed=self.completed, failed=self.failed)
         return processed
 
     def _touch_registration(self) -> None:
         try:
             self.broker.worker_heartbeat(
-                self.worker_id, completed=self.completed, failed=self.failed
+                self.worker_id,
+                completed=self.completed,
+                failed=self.failed,
+                # Cumulative, not a delta: a lost heartbeat costs nothing,
+                # the next one supersedes it.  The front end merges the
+                # latest snapshot per worker into GET /v1/metrics.
+                metrics=get_metrics().snapshot(),
             )
-        except Exception:  # noqa: BLE001 - observability must not kill the loop
-            pass
+        except Exception as error:  # noqa: BLE001 - observability must not kill the loop
+            _obs_errors().inc(component="worker.registration")
+            log_event(_LOG, logging.WARNING, "worker registration heartbeat failed",
+                      worker=self.worker_id, error=repr(error))
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
     def _execute(self, lease: Lease) -> None:
+        trace_id = lease.payload.get("trace_id")
         stop_beat = threading.Event()
         beat = threading.Thread(
             target=self._heartbeat_loop,
-            args=(lease, stop_beat),
+            args=(lease, stop_beat, trace_id),
             name=f"repro-worker-heartbeat-{lease.job_id}",
             daemon=True,
         )
         beat.start()
-        try:
-            requests = [
-                RunRequest.from_dict(entry) for entry in lease.payload["requests"]
-            ]
-            results = self.runner.run_batch(requests)
-            payloads = [
-                suite_payload(request, result)
-                for request, result in zip(requests, results)
-            ]
-        except Exception as error:  # noqa: BLE001 - job faults must not kill the worker
+        with bind_trace_id(trace_id):
+            log_event(_LOG, logging.INFO, "job leased",
+                      worker=self.worker_id, job=lease.job_id,
+                      attempt=lease.attempt,
+                      requests=len(lease.payload.get("requests", ())))
+            started = time.perf_counter()
+            try:
+                requests = [
+                    RunRequest.from_dict(entry) for entry in lease.payload["requests"]
+                ]
+                results = self.runner.run_batch(requests)
+                payloads = [
+                    suite_payload(request, result)
+                    for request, result in zip(requests, results)
+                ]
+            except Exception as error:  # noqa: BLE001 - job faults must not kill the worker
+                stop_beat.set()
+                beat.join()
+                message = str(error.args[0]) if error.args else str(error)
+                self.failed += 1
+                _job_counter().inc(outcome="failed")
+                log_event(_LOG, logging.WARNING, "job failed",
+                          worker=self.worker_id, job=lease.job_id,
+                          attempt=lease.attempt, error=f"{type(error).__name__}: {message}")
+                self.broker.fail(lease.job_id, self.worker_id,
+                                 f"{type(error).__name__}: {message}")
+                return
             stop_beat.set()
             beat.join()
-            message = str(error.args[0]) if error.args else str(error)
-            self.failed += 1
-            self.broker.fail(lease.job_id, self.worker_id,
-                             f"{type(error).__name__}: {message}")
-            return
-        stop_beat.set()
-        beat.join()
-        # complete() is idempotent: if the lease expired mid-run and a
-        # twin finished first, this is a quiet no-op (results being
-        # deterministic, both copies are identical anyway).
-        if self.broker.complete(lease.job_id, self.worker_id, payloads):
-            self.completed += 1
+            seconds = time.perf_counter() - started
+            _execute_seconds().observe(seconds)
+            # complete() is idempotent: if the lease expired mid-run and a
+            # twin finished first, this is a quiet no-op (results being
+            # deterministic, both copies are identical anyway).
+            if self.broker.complete(lease.job_id, self.worker_id, payloads):
+                self.completed += 1
+                _job_counter().inc(outcome="completed")
+                log_event(_LOG, logging.INFO, "job completed",
+                          worker=self.worker_id, job=lease.job_id,
+                          attempt=lease.attempt, seconds=round(seconds, 6))
+            else:
+                _job_counter().inc(outcome="duplicate")
+                log_event(_LOG, logging.INFO, "job completed by twin",
+                          worker=self.worker_id, job=lease.job_id,
+                          attempt=lease.attempt, seconds=round(seconds, 6))
 
-    def _heartbeat_loop(self, lease: Lease, stop: threading.Event) -> None:
-        while not stop.wait(self.heartbeat_interval):
-            try:
-                self.broker.heartbeat(lease.job_id, self.worker_id)
-            except LeaseLostError:
-                # Keep executing: completion stays correct (idempotent)
-                # and abandoning mid-run would waste the work when the
-                # re-delivered twin also dies.
-                return
-            except Exception:  # noqa: BLE001 - transient broker errors: retry next beat
-                continue
+    def _heartbeat_loop(self, lease: Lease, stop: threading.Event,
+                        trace_id: str | None) -> None:
+        # contextvars do not cross thread boundaries — re-bind explicitly
+        # so lease-loss warnings carry the job's trace id.
+        with bind_trace_id(trace_id):
+            while not stop.wait(self.heartbeat_interval):
+                try:
+                    self.broker.heartbeat(lease.job_id, self.worker_id)
+                except LeaseLostError:
+                    # Keep executing: completion stays correct (idempotent)
+                    # and abandoning mid-run would waste the work when the
+                    # re-delivered twin also dies.
+                    log_event(_LOG, logging.WARNING, "lease lost mid-run",
+                              worker=self.worker_id, job=lease.job_id,
+                              attempt=lease.attempt)
+                    return
+                except Exception as error:  # noqa: BLE001 - transient: retry next beat
+                    _obs_errors().inc(component="worker.heartbeat")
+                    log_event(_LOG, logging.WARNING, "lease heartbeat failed",
+                              worker=self.worker_id, job=lease.job_id,
+                              error=repr(error))
+                    continue

@@ -1,0 +1,68 @@
+"""Observability: metrics registry, structured logging, trace ids.
+
+The rest of the codebase talks to this package through a small surface:
+
+* ``get_metrics()`` — the process-wide :class:`MetricsRegistry`;
+  instruments are created idempotently at the call site, so any module
+  can do ``get_metrics().counter("repro_x_total").inc()`` without
+  registration ceremony.  ``REPRO_METRICS=off`` turns every mutator
+  into a no-op.
+* ``get_logger()`` / ``log_event()`` / ``configure_logging()`` —
+  structured (optionally JSON) logging with the ambient trace id
+  stamped on every record.
+* ``new_trace_id()`` / ``bind_trace_id()`` / ``current_trace_id()`` —
+  the id that follows a job from CLI/HTTP submission through broker
+  tickets to worker execution.
+"""
+
+from repro.obs.context import (
+    bind_trace_id,
+    current_trace_id,
+    ensure_trace_id,
+    new_trace_id,
+    valid_trace_id,
+)
+from repro.obs.logs import (
+    ENV_LOG,
+    ENV_LOG_JSON,
+    JsonFormatter,
+    TextFormatter,
+    configure_logging,
+    get_logger,
+    log_event,
+    parse_log_level,
+)
+from repro.obs.metrics import (
+    ENV_METRICS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+
+__all__ = [
+    "ENV_LOG",
+    "ENV_LOG_JSON",
+    "ENV_METRICS",
+    "SECONDS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "TextFormatter",
+    "bind_trace_id",
+    "configure_logging",
+    "current_trace_id",
+    "ensure_trace_id",
+    "get_logger",
+    "get_metrics",
+    "log_event",
+    "new_trace_id",
+    "parse_log_level",
+    "set_metrics",
+    "valid_trace_id",
+]

@@ -1,0 +1,145 @@
+"""Structured logging on top of stdlib :mod:`logging`.
+
+One handler on the ``repro`` logger namespace, configured once per
+process from ``REPRO_LOG`` / ``REPRO_LOG_JSON`` (or the CLI's
+``--log-level`` / ``--log-json`` flags, which win).  In JSON mode every
+line is a single JSON object::
+
+    {"ts": 1754650000.123, "level": "warning", "logger": "repro.service",
+     "message": "broker reap failed", "trace_id": "tr-4f…", "job": "ab12…"}
+
+Structured fields travel via ``log_event(logger, level, msg, **fields)``
+(plain ``logger.warning(...)`` still works); the ambient trace id from
+:mod:`repro.obs.context` is stamped on every record automatically.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import Mapping, TextIO
+
+from repro.obs.context import current_trace_id
+
+ENV_LOG = "REPRO_LOG"
+ENV_LOG_JSON = "REPRO_LOG_JSON"
+
+ROOT_LOGGER = "repro"
+
+_LEVELS = {"critical", "error", "warning", "info", "debug"}
+
+#: LogRecord attribute carrying structured fields (set by log_event).
+_FIELDS_ATTR = "obs_fields"
+
+
+def parse_log_level(value: str | None) -> str | None:
+    """Normalise a level name; raises ValueError on junk, None on empty."""
+    if value is None:
+        return None
+    name = value.strip().lower()
+    if not name:
+        return None
+    if name not in _LEVELS:
+        raise ValueError(
+            f"unknown log level {value!r} (expected one of "
+            f"{', '.join(sorted(_LEVELS))})")
+    return name
+
+
+def _record_fields(record: logging.LogRecord) -> Mapping[str, object]:
+    fields = getattr(record, _FIELDS_ATTR, None)
+    return fields if isinstance(fields, Mapping) else {}
+
+
+def _record_trace_id(record: logging.LogRecord) -> str | None:
+    trace_id = _record_fields(record).get("trace_id")
+    if isinstance(trace_id, str) and trace_id:
+        return trace_id
+    return current_trace_id()
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; machine-greppable, diff-stable keys."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = _record_trace_id(record)
+        if trace_id:
+            payload["trace_id"] = trace_id
+        for key, value in _record_fields(record).items():
+            payload.setdefault(key, value)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, separators=(",", ":"))
+
+
+class TextFormatter(logging.Formatter):
+    """Human-oriented single line with ``key=value`` structured tail."""
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)s %(name)s %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        parts = []
+        trace_id = _record_trace_id(record)
+        if trace_id:
+            parts.append(f"trace_id={trace_id}")
+        for key, value in _record_fields(record).items():
+            if key != "trace_id":
+                parts.append(f"{key}={value}")
+        return f"{base} [{' '.join(parts)}]" if parts else base
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("service")``)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def log_event(logger: logging.Logger, level: int, message: str,
+              **fields: object) -> None:
+    """Emit *message* with structured *fields* (shows up in JSON lines)."""
+    if logger.isEnabledFor(level):
+        logger.log(level, message, extra={_FIELDS_ATTR: fields})
+
+
+_HANDLER: logging.Handler | None = None
+
+
+def configure_logging(level: str | None = None,
+                      json_mode: bool | None = None,
+                      stream: TextIO | None = None) -> logging.Handler:
+    """Install (or replace) the process handler on the ``repro`` logger.
+
+    Explicit arguments win over ``REPRO_LOG`` / ``REPRO_LOG_JSON``;
+    with neither, the level defaults to ``warning`` so silent-failure
+    fixes are visible without any configuration.  Idempotent: calling
+    again swaps the handler instead of stacking duplicates.
+    """
+    global _HANDLER
+    resolved = parse_log_level(level)
+    if resolved is None:
+        resolved = parse_log_level(os.environ.get(ENV_LOG)) or "warning"
+    if json_mode is None:
+        json_mode = os.environ.get(ENV_LOG_JSON, "").strip().lower() in {
+            "1", "true", "yes", "on"}
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else TextFormatter())
+    root = logging.getLogger(ROOT_LOGGER)
+    if _HANDLER is not None:
+        root.removeHandler(_HANDLER)
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, resolved.upper()))
+    root.propagate = False
+    _HANDLER = handler
+    return handler

@@ -25,11 +25,14 @@ inside already-parallel harnesses.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
+import time
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
+from repro.obs import get_logger, get_metrics, log_event
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.engine import SimulationEngine
 from repro.pipeline.metrics import SimulationResult, SuiteResult
@@ -55,6 +58,46 @@ __all__ = [
 #: :class:`SimulationResult` layout or the cache key recipe changes, so
 #: stale entries from older builds are never served.
 CACHE_SCHEMA_VERSION = 2
+
+_LOG = get_logger("pipeline")
+
+
+def _cache_lookups():
+    return get_metrics().counter(
+        "repro_cache_lookups_total",
+        "Result-cache lookups by outcome (hit/miss/corrupt).", ("outcome",))
+
+
+def _reset_child_metrics() -> None:
+    """Pool-child initializer: start the worker with an empty registry.
+
+    Under the fork start method a child inherits a *copy* of the
+    parent's registry; without this reset the first :meth:`~repro.obs.
+    MetricsRegistry.drain` would ship that inherited state back and
+    double-count everything the parent had already recorded.
+    """
+    from repro.obs.metrics import set_metrics
+
+    set_metrics(None)  # next get_metrics() builds a fresh registry
+
+
+def _pool_task_metrics(kind: str, seconds: float) -> None:
+    """Per-task accounting recorded *inside* the executing process.
+
+    In a pool child this lands in the child's own registry and is
+    shipped back as a drained delta with the task result; in the serial
+    path it lands directly in the driving process's registry (the
+    caller merges the delta back, a no-op there).
+    """
+    registry = get_metrics()
+    registry.counter(
+        "repro_pool_tasks_total",
+        "Simulation tasks executed by pool workers (or serially).",
+        ("kind",)).inc(kind=kind)
+    registry.histogram(
+        "repro_pool_task_seconds",
+        "Wall time of one simulation task on its worker.",
+        ("kind",)).observe(seconds, kind=kind)
 
 
 def trace_fingerprint(trace: Trace) -> str:
@@ -217,6 +260,10 @@ class SuiteCache:
                 reclaimed += size
                 removed += 1
         self.evictions += removed
+        if removed:
+            get_metrics().counter(
+                "repro_cache_evictions_total",
+                "Result-cache entries evicted by the LRU bound.").inc(removed)
         self._approx_bytes = total
         return {"removed": removed, "reclaimed_bytes": reclaimed, "remaining_bytes": total}
 
@@ -249,18 +296,25 @@ class SuiteCache:
         path = self._path(key)
         if not os.path.exists(path):
             self.misses += 1
+            _cache_lookups().inc(outcome="miss")
             return None
         try:
             with open(path, "rb") as handle:
                 result = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError):
+        except (OSError, pickle.PickleError, EOFError) as error:
+            # A corrupt or half-written entry is a miss, but not a silent
+            # one: the operator should know the cache is shedding data.
             self.misses += 1
+            _cache_lookups().inc(outcome="corrupt")
+            log_event(_LOG, logging.WARNING, "cache entry unreadable",
+                      key=key, error=repr(error))
             return None
         try:
             os.utime(path)  # refresh recency so LRU pruning keeps hot entries
         except OSError:
             pass
         self.hits += 1
+        _cache_lookups().inc(outcome="hit")
         return result
 
     def put(self, key: str, result: SimulationResult) -> None:
@@ -325,15 +379,20 @@ def _simulate_one(task: tuple) -> SimulationResult:
     return SimulationEngine(predictor, scenario, config).run(trace)
 
 
-def _simulate_one_warm(task: tuple) -> tuple[SimulationResult, bool]:
-    """Pool worker for :class:`WorkerPool`: result plus whether the
-    worker's predictor cache served this task warm (reset-reuse)."""
+def _simulate_one_warm(task: tuple) -> tuple[SimulationResult, bool, dict]:
+    """Pool worker for :class:`WorkerPool`: result, whether the worker's
+    predictor cache served this task warm (reset-reuse), and the drained
+    metrics delta of the executing process — the parent merges it, so
+    child-process instrumentation shows up in ``GET /v1/metrics``."""
+    start = time.perf_counter()
     spec, trace, scenario, config = task
     predictor, warm = _predictor_for(spec)
-    return SimulationEngine(predictor, scenario, config).run(trace), warm
+    result = SimulationEngine(predictor, scenario, config).run(trace)
+    _pool_task_metrics("sim", time.perf_counter() - start)
+    return result, warm, get_metrics().drain()
 
 
-def _run_exact_shard(payload: tuple) -> tuple[SimulationResult, bytes | None]:
+def _run_exact_shard(payload: tuple) -> tuple[SimulationResult, bytes | None, dict]:
     """Pool worker: one exact-mode shard of a trace.
 
     ``payload`` is ``(spec, records, name, window, scenario, config,
@@ -343,9 +402,11 @@ def _run_exact_shard(payload: tuple) -> tuple[SimulationResult, bytes | None]:
     over by the previous shard, so measurement resumes mid-pipeline —
     partially executed branches retire here, under the same scenario
     policy, with their update accounted to the shard that retires them.
-    Returns the shard's window result plus the pickled state for the next
-    shard (``None`` after the final shard, which drains).
+    Returns the shard's window result, the pickled state for the next
+    shard (``None`` after the final shard, which drains), and the
+    executing process's drained metrics delta.
     """
+    start = time.perf_counter()
     spec, records, name, window, scenario, config, state, final = payload
     if state is None:
         predictor, _ = _predictor_for(spec)
@@ -360,7 +421,8 @@ def _run_exact_shard(payload: tuple) -> tuple[SimulationResult, bytes | None]:
         engine.drain_window()
     result = engine.result(name, window=window)
     handoff = None if final else pickle.dumps((predictor, engine.export_state()))
-    return result, handoff
+    _pool_task_metrics("exact", time.perf_counter() - start)
+    return result, handoff, get_metrics().drain()
 
 
 @dataclass
@@ -465,7 +527,8 @@ class WorkerPool:
         if self._closed:
             raise RuntimeError("worker pool is closed")
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers, initializer=_reset_child_metrics)
         return self._executor
 
     def map(self, tasks: list[tuple]) -> list[SimulationResult]:
@@ -487,8 +550,11 @@ class WorkerPool:
             raise
         self.batches += 1
         self.tasks_executed += len(outcomes)
-        self.warm_hits += sum(1 for _, warm in outcomes if warm)
-        return [result for result, _ in outcomes]
+        self.warm_hits += sum(1 for _, warm, _ in outcomes if warm)
+        registry = get_metrics()
+        for _, _, deltas in outcomes:
+            registry.merge(deltas)
+        return [result for result, _, _ in outcomes]
 
     def submit(self, payload: tuple) -> Future:
         """Dispatch one exact-mode shard job (see :func:`run_exact_chains`).
@@ -661,15 +727,33 @@ def run_scheduled(
     interp_indices.sort()
 
     fresh: dict[int, SimulationResult] = {}
+    registry = get_metrics()
+    route_counter = registry.counter(
+        "repro_sched_tasks_total",
+        "Unique scheduled tasks by execution route.", ("route",))
+    if kernel_groups:
+        route_counter.inc(
+            sum(len(indices) for indices in kernel_groups.values()),
+            route="kernel")
+    if interp_indices:
+        route_counter.inc(len(interp_indices), route="interp")
+    if chains:
+        registry.counter(
+            "repro_sched_exact_shards_total",
+            "Exact-mode shard jobs dispatched by the scheduler.").inc(
+            sum(len(chain.windows) for chain in chains))
+    kernel_seconds = registry.histogram(
+        "repro_backend_kernel_seconds",
+        "Wall time of one batched backend kernel call.", ("backend",))
 
     def run_kernel_groups() -> None:
         for batch_key, indices in kernel_groups.items():
             chosen = kernel_backends[batch_key]
             pairs = [(unique_tasks[index][0], unique_tasks[index][1]) for index in indices]
             _, _, scenario, config = unique_tasks[indices[0]]
-            for index, result in zip(
-                indices, chosen.run_tasks(pairs, scenario, config)
-            ):
+            with kernel_seconds.time(backend=chosen.name):
+                outcomes = chosen.run_tasks(pairs, scenario, config)
+            for index, result in zip(indices, outcomes):
                 fresh[index] = result
 
     interp_tasks = [unique_tasks[index] for index in interp_indices]
@@ -678,11 +762,14 @@ def run_scheduled(
     def run_serial() -> None:
         run_kernel_groups()
         for index, task in zip(interp_indices, interp_tasks):
+            start = time.perf_counter()
             fresh[index] = _simulate_one(task)
+            _pool_task_metrics("sim", time.perf_counter() - start)
         for position, chain in enumerate(chains):
             state: bytes | None = None
             for shard in range(len(chain.windows)):
-                result, state = _run_exact_shard(chain.payload(shard, state))
+                result, state, deltas = _run_exact_shard(chain.payload(shard, state))
+                registry.merge(deltas)
                 chain_parts[position].append(result)
 
     def drive(submit_task, submit_shard) -> tuple[int, int]:
@@ -703,12 +790,14 @@ def run_scheduled(
             for future in done:
                 kind, index = pending.pop(future)
                 if kind == "task":
-                    result, was_warm = future.result()
+                    result, was_warm, deltas = future.result()
+                    registry.merge(deltas)
                     fresh[index] = result
                     executed += 1
                     warm += 1 if was_warm else 0
                 else:
-                    result, state = future.result()
+                    result, state, deltas = future.result()
+                    registry.merge(deltas)
                     chain_parts[index].append(result)
                     cursor[index] += 1
                     if cursor[index] < len(chains[index].windows):
@@ -730,7 +819,9 @@ def run_scheduled(
         if limit <= 1 or parallel_jobs <= 1:
             run_serial()
         else:
-            executor = ProcessPoolExecutor(max_workers=min(limit, parallel_jobs))
+            executor = ProcessPoolExecutor(
+                max_workers=min(limit, parallel_jobs),
+                initializer=_reset_child_metrics)
             try:
                 drive(
                     lambda task: executor.submit(_simulate_one_warm, task),

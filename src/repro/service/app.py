@@ -21,7 +21,16 @@ Endpoints (all JSON):
 ``GET /v1/healthz``          liveness: ``{"status": "ok"}`` plus uptime.
 ``GET /v1/stats``            queue depth, job counters, dispatcher
                              utilization, warm-pool and cache hit rates.
+``GET /v1/metrics``          Prometheus text exposition (the one
+                             non-JSON endpoint): runner, cache, queue
+                             and broker/fleet series, including metric
+                             snapshots shipped back by fleet workers.
 ===========================  ==================================================
+
+Trace ids: ``POST /v1/runs`` adopts a client-minted ``X-Trace-Id``
+header (or mints one), echoes it as a response header, and carries it
+in the job document — so client logs, service logs and worker logs all
+grep by the same id.
 
 Error mapping: malformed body/submission → 400, unknown job → 404,
 uncancellable job → 409, queue full → 503 with ``Retry-After``, closed
@@ -104,6 +113,14 @@ class _Handler(BaseHTTPRequestHandler):
     def _error(self, code: int, message: str, headers: dict[str, str] | None = None) -> None:
         self._reply(code, {"error": message}, headers)
 
+    def _reply_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _query(self) -> dict[str, str]:
         query = parse_qs(urlsplit(self.path).query)
         return {key: values[-1] for key, values in query.items()}
@@ -128,6 +145,11 @@ class _Handler(BaseHTTPRequestHandler):
             })
         elif path == "/v1/stats":
             self._reply(200, service.stats())
+        elif path == "/v1/metrics":
+            # Prometheus text exposition format, version 0.0.4.
+            self._reply_text(
+                200, service.metrics_text(),
+                "text/plain; version=0.0.4; charset=utf-8")
         elif path.startswith("/v1/runs/"):
             job_id = path[len("/v1/runs/"):]
             if "/" in job_id or not job_id:
@@ -186,7 +208,8 @@ class _Handler(BaseHTTPRequestHandler):
 
         service = self.server.service
         try:
-            job = service.submit_payload(payload)
+            job = service.submit_payload(
+                payload, trace_id=self.headers.get("X-Trace-Id"))
         except ProtocolError as error:
             self._error(400, str(error))
             return
@@ -198,7 +221,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
 
         query = self._query()
-        location = {"Location": f"/v1/runs/{job.id}"}
+        location = {"Location": f"/v1/runs/{job.id}", "X-Trace-Id": job.trace_id}
         if query.get("wait", "").lower() in _TRUTHY:
             try:
                 timeout = float(query.get("timeout", DEFAULT_WAIT_TIMEOUT))

@@ -39,19 +39,23 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     def _call(self, method: str, path: str, payload: Any = None,
-              timeout: float | None = None) -> dict:
+              timeout: float | None = None,
+              headers: dict[str, str] | None = None, raw: bool = False) -> Any:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request_headers = {"Content-Type": "application/json"} if body else {}
+        request_headers.update(headers or {})
         request = urllib.request.Request(
             f"{self.base_url}{path}",
             data=body,
             method=method,
-            headers={"Content-Type": "application/json"} if body else {},
+            headers=request_headers,
         )
         try:
             with urllib.request.urlopen(
                 request, timeout=self.timeout if timeout is None else timeout
             ) as response:
-                return json.loads(response.read().decode("utf-8"))
+                text = response.read().decode("utf-8")
+                return text if raw else json.loads(text)
         except urllib.error.HTTPError as error:
             detail = error.read().decode("utf-8", errors="replace")
             try:
@@ -71,6 +75,10 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._call("GET", "/v1/stats")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text served by ``GET /v1/metrics``."""
+        return self._call("GET", "/v1/metrics", raw=True)
 
     def fleet(self) -> dict:
         """The broker's fleet section of ``/v1/stats``.
@@ -103,23 +111,27 @@ class ServiceClient:
         requests: Sequence[RunRequest] | RunRequest | Sequence[dict] | dict,
         wait: bool = False,
         timeout: float | None = None,
+        trace_id: str | None = None,
     ) -> dict:
         """POST a submission; returns the job document.
 
         ``requests`` may be live :class:`RunRequest` objects or
         already-serialized payload dicts; a single request posts an
         object, several post a list (the server preserves the shape in
-        the document's ``batch`` flag).
+        the document's ``batch`` flag).  ``trace_id`` travels as the
+        ``X-Trace-Id`` header; the server adopts it (or mints one) and
+        echoes it in the job document.
         """
         payload = self._submission_payload(requests)
+        headers = {"X-Trace-Id": trace_id} if trace_id else None
         if not wait:
-            return self._call("POST", "/v1/runs", payload)
+            return self._call("POST", "/v1/runs", payload, headers=headers)
         hold = timeout if timeout is not None else 60
         # The transport timeout must outlive the server-side hold we just
         # asked for, or long jobs would abort client-side mid-wait.
         return self._call(
             "POST", f"/v1/runs?wait=1&timeout={hold}", payload,
-            timeout=max(self.timeout, hold + 10),
+            timeout=max(self.timeout, hold + 10), headers=headers,
         )
 
     def poll(self, job_id: str, timeout: float = 60.0, interval: float = 0.05) -> dict:
@@ -135,9 +147,10 @@ class ServiceClient:
         self,
         requests: Sequence[RunRequest] | RunRequest | Sequence[dict] | dict,
         timeout: float = 60.0,
+        trace_id: str | None = None,
     ) -> dict:
         """Submit asynchronously, then poll to completion (both endpoints)."""
-        document = self.submit(requests)
+        document = self.submit(requests, trace_id=trace_id)
         if document["status"] not in TERMINAL_STATUSES:
             document = self.poll(document["id"], timeout=timeout)
         return document

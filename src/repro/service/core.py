@@ -37,6 +37,7 @@ is given.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
 import time
@@ -45,8 +46,24 @@ from typing import Any, Sequence
 from repro.api.request import RunRequest
 from repro.api.results import suite_payload
 from repro.api.runner import Runner
+from repro.obs import bind_trace_id, ensure_trace_id, get_logger, get_metrics, log_event
 from repro.service.protocol import Job, JobStatus, parse_submission
 from repro.service.store import MemoryResultStore, ResultStore
+
+_LOG = get_logger("service")
+
+
+def _job_counter():
+    return get_metrics().counter(
+        "repro_service_jobs_total",
+        "Jobs that reached a terminal state, by status.", ("status",))
+
+
+def _obs_errors():
+    return get_metrics().counter(
+        "repro_obs_errors_total",
+        "Exceptions swallowed by background threads, by component.",
+        ("component",))
 
 __all__ = [
     "CancelConflictError",
@@ -225,9 +242,16 @@ class SimulationService:
     # Submission and lookup
     # ------------------------------------------------------------------
 
-    def submit(self, requests: Sequence[RunRequest], batch: bool = True) -> Job:
-        """Enqueue already-validated requests as one job."""
-        job = Job(requests=list(requests), batch=batch)
+    def submit(self, requests: Sequence[RunRequest], batch: bool = True,
+               trace_id: str | None = None) -> Job:
+        """Enqueue already-validated requests as one job.
+
+        ``trace_id`` adopts a caller-minted id (the ``X-Trace-Id``
+        header / ``--trace-id`` flag); invalid or absent ids are
+        replaced by a fresh one, never rejected.
+        """
+        job = Job(requests=list(requests), batch=batch,
+                  trace_id=ensure_trace_id(trace_id))
         if not job.requests:
             raise ValueError("a job needs at least one request")
         with self._lock:
@@ -243,12 +267,22 @@ class SimulationService:
             self._queue.put_nowait(job)
             self._live[job.id] = job
             self.submitted += 1
+            depth += 1
+        registry = get_metrics()
+        registry.counter(
+            "repro_service_submitted_total", "Jobs accepted into the queue.").inc()
+        registry.gauge(
+            "repro_service_queue_depth",
+            "Jobs currently queued (bounded by queue capacity).").set(depth)
+        log_event(_LOG, logging.INFO, "job queued",
+                  trace_id=job.trace_id, job=job.id,
+                  requests=len(job.requests), queue_depth=depth)
         return job
 
-    def submit_payload(self, payload: Any) -> Job:
+    def submit_payload(self, payload: Any, trace_id: str | None = None) -> Job:
         """Parse a wire submission (object or list) and enqueue it."""
         requests, batch = parse_submission(payload)
-        return self.submit(requests, batch=batch)
+        return self.submit(requests, batch=batch, trace_id=trace_id)
 
     def job(self, job_id: str) -> dict[str, Any]:
         """The job document, live or stored; raises :class:`UnknownJobError`."""
@@ -308,6 +342,9 @@ class SimulationService:
             job.finished = time.time()
             self.cancelled += 1
             self._remote.pop(job.id, None)
+        _job_counter().inc(status="cancelled")
+        log_event(_LOG, logging.INFO, "job cancelled",
+                  trace_id=job.trace_id, job=job.id)
         # Drop the tombstone from the channel too: without this, a client
         # looping submit/cancel while the dispatcher is busy would grow
         # the (unbounded) channel without limit.  If the dispatcher
@@ -400,6 +437,45 @@ class SimulationService:
             "fleet": fleet,
         }
 
+    def metrics_text(self) -> str:
+        """The Prometheus exposition served by ``GET /v1/metrics``.
+
+        Scrape-time gauges (queue depth, running jobs, fleet liveness)
+        are refreshed here; in broker mode the latest per-worker metric
+        snapshots shipped over heartbeats are folded in, so one scrape
+        of the front end covers runner/cache/pool series from the whole
+        fleet.
+        """
+        registry = get_metrics()
+        with self._lock:
+            live = list(self._live.values())
+        registry.gauge(
+            "repro_service_queue_depth",
+            "Jobs currently queued (bounded by queue capacity).",
+        ).set(sum(1 for job in live if job.status is JobStatus.QUEUED))
+        registry.gauge(
+            "repro_service_running_jobs", "Jobs currently executing.",
+        ).set(sum(1 for job in live if job.status is JobStatus.RUNNING))
+        extra: list[dict] = []
+        if self.broker is not None:
+            try:
+                workers = self.broker.workers()
+            except Exception as error:  # noqa: BLE001 - scrape must not 500 on broker IO
+                _obs_errors().inc(component="service.metrics")
+                log_event(_LOG, logging.WARNING,
+                          "worker registry unavailable for scrape",
+                          error=repr(error))
+            else:
+                registry.gauge(
+                    "repro_fleet_workers_alive",
+                    "Fleet workers with a fresh heartbeat.",
+                ).set(len(workers))
+                for record in workers:
+                    snapshot = record.get("metrics")
+                    if snapshot:
+                        extra.append(snapshot)
+        return registry.render_prometheus(extra)
+
     # ------------------------------------------------------------------
     # Dispatcher
     # ------------------------------------------------------------------
@@ -425,24 +501,38 @@ class SimulationService:
                 self.runner.close()
 
     def _execute(self, job: Job) -> None:
+        registry = get_metrics()
         with self._lock:
             if job.status is not JobStatus.QUEUED:
                 return  # cancelled while queued: the tombstone is skipped
             job.status = JobStatus.RUNNING
             job.started = time.time()
             self._busy_since = job.started
-        try:
-            results = self.runner.run_batch(job.requests)
-            job.results = [
-                suite_payload(request, result)
-                for request, result in zip(job.requests, results)
-            ]
-            job.status = JobStatus.DONE
-        except Exception as error:  # noqa: BLE001 - job faults must not kill the service
-            message = str(error.args[0]) if error.args else str(error)
-            job.error = f"{type(error).__name__}: {message}"
-            job.status = JobStatus.FAILED
-        job.finished = time.time()
+        registry.histogram(
+            "repro_service_queue_wait_seconds",
+            "Time a job spent queued before execution started.",
+        ).observe(job.started - job.created)
+        with bind_trace_id(job.trace_id):
+            log_event(_LOG, logging.INFO, "job started", job=job.id,
+                      requests=len(job.requests))
+            try:
+                results = self.runner.run_batch(job.requests)
+                job.results = [
+                    suite_payload(request, result)
+                    for request, result in zip(job.requests, results)
+                ]
+                job.status = JobStatus.DONE
+            except Exception as error:  # noqa: BLE001 - job faults must not kill the service
+                message = str(error.args[0]) if error.args else str(error)
+                job.error = f"{type(error).__name__}: {message}"
+                job.status = JobStatus.FAILED
+            job.finished = time.time()
+            if job.status is JobStatus.DONE:
+                log_event(_LOG, logging.INFO, "job done", job=job.id,
+                          seconds=round(job.finished - job.started, 6))
+            else:
+                log_event(_LOG, logging.WARNING, "job failed", job=job.id,
+                          error=job.error)
         with self._lock:
             self._busy_seconds += job.finished - (self._busy_since or job.finished)
             self._busy_since = None
@@ -450,6 +540,11 @@ class SimulationService:
                 self.completed += 1
             else:
                 self.failed += 1
+        _job_counter().inc(status=job.status.value)
+        registry.histogram(
+            "repro_service_job_seconds",
+            "Submit-to-terminal latency of one job.",
+        ).observe(job.finished - job.created)
         # Store before unlisting so job() never sees a gap between the two.
         self.store.put(job.id, job.to_dict())
         with self._lock:
@@ -469,11 +564,17 @@ class SimulationService:
         payload = {
             "requests": [request.to_dict() for request in job.requests],
             "batch": job.batch,
+            "trace_id": job.trace_id,
         }
         try:
             self.broker.publish(job.id, payload)
+            log_event(_LOG, logging.INFO, "job published",
+                      trace_id=job.trace_id, job=job.id)
         except Exception as error:  # noqa: BLE001 - broker faults must not kill the service
             message = str(error.args[0]) if error.args else str(error)
+            log_event(_LOG, logging.ERROR, "publish failed",
+                      trace_id=job.trace_id, job=job.id,
+                      error=f"{type(error).__name__}: {message}")
             with self._lock:
                 if job.status is not JobStatus.QUEUED:
                     return
@@ -481,6 +582,7 @@ class SimulationService:
                 job.status = JobStatus.FAILED
                 job.finished = time.time()
                 self.failed += 1
+            _job_counter().inc(status="failed")
             self._finalize(job)
 
     def _watch(self) -> None:
@@ -496,12 +598,24 @@ class SimulationService:
             if remote:
                 try:
                     self.broker.reap()
-                except Exception:  # noqa: BLE001 - transient broker IO: retry next tick
-                    pass
+                except Exception as error:  # noqa: BLE001 - transient broker IO: retry next tick
+                    _obs_errors().inc(component="service.watcher")
+                    log_event(_LOG, logging.WARNING, "broker reap failed",
+                              error=repr(error))
                 for job in remote:
                     try:
                         snapshot = self.broker.snapshot(job.id)
-                    except Exception:  # noqa: BLE001 - includes not-yet-published races
+                    except KeyError:
+                        # Publish is still in flight (the dispatcher has
+                        # the job but the broker write hasn't landed) —
+                        # expected, retried next tick.
+                        continue
+                    except Exception as error:  # noqa: BLE001 - transient broker IO
+                        _obs_errors().inc(component="service.watcher")
+                        log_event(_LOG, logging.WARNING,
+                                  "broker snapshot failed",
+                                  trace_id=job.trace_id, job=job.id,
+                                  error=repr(error))
                         continue
                     self._observe(job, snapshot)
             if self._stop.wait(self.broker_poll):
@@ -515,6 +629,8 @@ class SimulationService:
         """Fold the broker's view of one published job into its document."""
         state = snapshot["state"]
         terminal = False
+        event: tuple[int, str, dict] | None = None
+        registry = get_metrics()
         with self._lock:
             if job.status.terminal:
                 return
@@ -525,15 +641,25 @@ class SimulationService:
             if state == "leased" and job.status is JobStatus.QUEUED:
                 job.status = JobStatus.RUNNING
                 job.started = time.time()
+                event = (logging.INFO, "job leased",
+                         {"worker": job.worker, "attempt": job.attempts})
+                registry.histogram(
+                    "repro_service_queue_wait_seconds",
+                    "Time a job spent queued before execution started.",
+                ).observe(job.started - job.created)
             elif state in _REMOTE_QUEUED and job.status is JobStatus.RUNNING:
                 # The lease expired: the job is pending re-delivery.
                 job.status = JobStatus.QUEUED
+                event = (logging.WARNING, "lease expired; job re-queued",
+                         {"worker": job.worker, "attempt": job.attempts})
             elif state == "done":
                 job.results = snapshot["results"]
                 job.status = JobStatus.DONE
                 job.finished = snapshot.get("finished") or time.time()
                 self.completed += 1
                 terminal = True
+                event = (logging.INFO, "job done",
+                         {"worker": job.worker, "attempt": job.attempts})
             elif state == "dead":
                 attempts = snapshot.get("attempts")
                 error = snapshot.get("error") or "no error recorded"
@@ -542,7 +668,18 @@ class SimulationService:
                 job.finished = snapshot.get("finished") or time.time()
                 self.failed += 1
                 terminal = True
+                event = (logging.WARNING, "job dead-lettered",
+                         {"error": job.error})
+        if event is not None:
+            level, message, fields = event
+            log_event(_LOG, level, message,
+                      trace_id=job.trace_id, job=job.id, **fields)
         if terminal:
+            _job_counter().inc(status=job.status.value)
+            registry.histogram(
+                "repro_service_job_seconds",
+                "Submit-to-terminal latency of one job.",
+            ).observe(job.finished - job.created)
             self._finalize(job)
 
     def _finalize(self, job: Job) -> None:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.api.request import RunRequest, validate_shard_coverage
+from repro.obs import new_trace_id
 from repro.predictors.registry import available
 
 __all__ = [
@@ -92,6 +93,10 @@ class Job:
     #: Both stay ``None`` in single-process mode.
     worker: str | None = None
     attempts: int | None = None
+    #: The id that follows this job through logs, broker tickets and
+    #: worker execution.  Minted at submission (or adopted from the
+    #: client's ``X-Trace-Id`` header / ``--trace-id`` flag).
+    trace_id: str = field(default_factory=new_trace_id)
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
 
     def to_dict(self) -> dict[str, Any]:
@@ -108,6 +113,7 @@ class Job:
             "results": self.results,
             "worker": self.worker,
             "attempts": self.attempts,
+            "trace_id": self.trace_id,
         }
 
 

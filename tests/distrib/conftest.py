@@ -5,6 +5,15 @@ from __future__ import annotations
 import pytest
 
 from repro.distrib import FileBroker, MemoryBroker
+from repro.obs import MetricsRegistry, set_metrics
+
+
+@pytest.fixture
+def fresh_registry():
+    """An isolated process-global metrics registry for counter assertions."""
+    previous = set_metrics(MetricsRegistry())
+    yield
+    set_metrics(previous)
 
 
 class FakeClock:

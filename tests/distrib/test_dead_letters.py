@@ -1,0 +1,101 @@
+"""Dead-letter surfacing and worker-heartbeat metric storage."""
+
+from __future__ import annotations
+
+
+def kill_job(broker, job_id: str, error: str) -> None:
+    """Lease and fail a job until it dead-letters."""
+    for _ in range(broker.max_attempts + 1):
+        lease = broker.lease("w-kill")
+        if lease is None:
+            break
+        broker.fail(lease.job_id, "w-kill", error)
+        broker.reap()
+    assert broker.counts()["dead"] >= 1
+
+
+class TestDeadLetters:
+    def test_rows_carry_the_last_error(self, broker_factory):
+        broker = broker_factory(max_attempts=2, backoff_base=0.0)
+        broker.publish("job-bad", {"requests": []})
+        kill_job(broker, "job-bad", "ValueError: unknown predictor 'tage9'")
+        rows = broker.dead_letters()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["id"] == "job-bad"
+        assert "unknown predictor 'tage9'" in row["error"]
+        assert row["attempts"] == 2
+
+    def test_newest_first_and_limit(self, broker_factory):
+        broker = broker_factory(max_attempts=1, backoff_base=0.0)
+        for index in range(3):
+            broker.publish(f"job-{index}", {"requests": []})
+            kill_job(broker, f"job-{index}", f"boom {index}")
+        rows = broker.dead_letters(limit=2)
+        assert len(rows) == 2
+        returned = {row["id"] for row in rows}
+        assert returned <= {"job-0", "job-1", "job-2"}
+
+    def test_stats_includes_dead_letters(self, broker_factory):
+        broker = broker_factory(max_attempts=1, backoff_base=0.0)
+        broker.publish("job-dl", {"requests": []})
+        kill_job(broker, "job-dl", "SIGKILL")
+        stats = broker.stats()
+        assert stats["jobs"]["dead"] == 1
+        assert stats["dead_letters"][0]["id"] == "job-dl"
+        assert "SIGKILL" in stats["dead_letters"][0]["error"]
+
+    def test_empty_broker_has_no_dead_letters(self, broker_factory):
+        broker = broker_factory()
+        assert broker.dead_letters() == []
+        assert broker.stats()["dead_letters"] == []
+
+
+class TestHeartbeatMetrics:
+    def test_snapshot_is_stored_with_the_worker_record(self, broker_factory):
+        broker = broker_factory()
+        broker.register_worker("w1", {"host": "a"})
+        snapshot = {"repro_worker_jobs_total": {
+            "kind": "counter", "help": "", "labels": ["outcome"],
+            "values": {'["completed"]': 3.0}}}
+        broker.worker_heartbeat("w1", completed=3, metrics=snapshot)
+        rows = broker.workers()
+        assert len(rows) == 1
+        assert rows[0]["metrics"] == snapshot
+        assert rows[0]["completed"] == 3
+
+    def test_heartbeat_without_metrics_keeps_record_clean(self, broker_factory):
+        broker = broker_factory()
+        broker.register_worker("w1", {})
+        broker.worker_heartbeat("w1", completed=1)
+        assert "metrics" not in broker.workers()[0] or \
+            broker.workers()[0].get("metrics") is None
+
+    def test_stats_strips_metrics_from_worker_rows(self, broker_factory):
+        broker = broker_factory()
+        broker.register_worker("w1", {})
+        broker.worker_heartbeat("w1", metrics={"repro_x": {
+            "kind": "counter", "help": "", "labels": [], "values": {}}})
+        workers = broker.stats()["workers"]
+        assert len(workers) == 1
+        assert "metrics" not in workers[0]
+
+
+class TestBrokerEventCounter:
+    def test_lifecycle_events_are_counted(self, broker_factory, fresh_registry):
+        from repro.obs import get_metrics
+
+        broker = broker_factory(max_attempts=2, backoff_base=0.0)
+        broker.publish("job-ok", {"requests": []})
+        lease = broker.lease("w1")
+        broker.complete(lease.job_id, "w1", [{"accuracy": 1.0}])
+        broker.publish("job-bad", {"requests": []})
+        kill_job(broker, "job-bad", "boom")
+        counter = get_metrics().counter(
+            "repro_broker_events_total", "Broker delivery events by type.",
+            ("event",))
+        assert counter.value(event="published") == 2.0
+        assert counter.value(event="leased") >= 2.0
+        assert counter.value(event="completed") == 1.0
+        assert counter.value(event="retried") >= 1.0
+        assert counter.value(event="dead_lettered") == 1.0

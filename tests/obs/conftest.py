@@ -1,0 +1,33 @@
+"""Shared fixtures: isolate the process-global registry and logger."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs import MetricsRegistry, set_metrics
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    """Each test gets its own process-global registry (and restores it)."""
+    previous = set_metrics(MetricsRegistry())
+    yield
+    set_metrics(previous)
+
+
+@pytest.fixture(autouse=True)
+def clean_repro_logger():
+    """Strip handlers/levels tests install on the ``repro`` logger."""
+    root = logging.getLogger("repro")
+    saved_handlers = list(root.handlers)
+    saved_level = root.level
+    saved_propagate = root.propagate
+    yield
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    for handler in saved_handlers:
+        root.addHandler(handler)
+    root.setLevel(saved_level)
+    root.propagate = saved_propagate

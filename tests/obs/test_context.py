@@ -1,0 +1,60 @@
+"""Trace-id minting, validation and ambient binding."""
+
+from __future__ import annotations
+
+import re
+import threading
+
+from repro.obs import (
+    bind_trace_id,
+    current_trace_id,
+    ensure_trace_id,
+    new_trace_id,
+    valid_trace_id,
+)
+
+
+def test_new_trace_id_shape():
+    trace_id = new_trace_id()
+    assert re.fullmatch(r"tr-[0-9a-f]{16}", trace_id)
+    assert trace_id != new_trace_id()
+
+
+def test_valid_trace_id():
+    assert valid_trace_id("ci-smoke-42")
+    assert valid_trace_id("a.b:c_d-e")
+    assert not valid_trace_id("")
+    assert not valid_trace_id("has space")
+    assert not valid_trace_id("x" * 81)
+    assert not valid_trace_id(None)
+    assert not valid_trace_id(123)
+
+
+def test_ensure_trace_id_keeps_valid_and_replaces_invalid():
+    assert ensure_trace_id("keep-me") == "keep-me"
+    minted = ensure_trace_id("not ok!")
+    assert minted != "not ok!" and valid_trace_id(minted)
+    assert valid_trace_id(ensure_trace_id(None))
+
+
+def test_bind_is_scoped_and_nestable():
+    assert current_trace_id() is None
+    with bind_trace_id("tr-outer"):
+        assert current_trace_id() == "tr-outer"
+        with bind_trace_id("tr-inner"):
+            assert current_trace_id() == "tr-inner"
+        assert current_trace_id() == "tr-outer"
+    assert current_trace_id() is None
+
+
+def test_binding_does_not_cross_threads():
+    seen: list[str | None] = []
+
+    def probe():
+        seen.append(current_trace_id())
+
+    with bind_trace_id("tr-main"):
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+    assert seen == [None]

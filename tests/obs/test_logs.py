@@ -1,0 +1,137 @@
+"""Structured logging: JSON lines, trace-id stamping, configuration."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    JsonFormatter,
+    TextFormatter,
+    bind_trace_id,
+    configure_logging,
+    get_logger,
+    log_event,
+    parse_log_level,
+)
+
+
+def configure(stream: io.StringIO, **kwargs) -> None:
+    configure_logging(stream=stream, **kwargs)
+
+
+def lines(stream: io.StringIO) -> list[str]:
+    return [line for line in stream.getvalue().splitlines() if line]
+
+
+class TestParseLogLevel:
+    def test_normalises(self):
+        assert parse_log_level(" INFO ") == "info"
+
+    def test_empty_is_none(self):
+        assert parse_log_level(None) is None
+        assert parse_log_level("   ") is None
+
+    def test_junk_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            parse_log_level("loud")
+
+
+class TestJsonLines:
+    def test_every_line_parses_with_schema_keys(self):
+        stream = io.StringIO()
+        configure(stream, level="info", json_mode=True)
+        logger = get_logger("test")
+        log_event(logger, logging.INFO, "job queued", job="j-1", depth=3)
+        payload = json.loads(lines(stream)[0])
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.test"
+        assert payload["message"] == "job queued"
+        assert payload["job"] == "j-1" and payload["depth"] == 3
+        assert isinstance(payload["ts"], float)
+
+    def test_ambient_trace_id_is_stamped(self):
+        stream = io.StringIO()
+        configure(stream, level="info", json_mode=True)
+        with bind_trace_id("tr-ambient"):
+            log_event(get_logger("test"), logging.INFO, "hello")
+        assert json.loads(lines(stream)[0])["trace_id"] == "tr-ambient"
+
+    def test_explicit_field_beats_ambient(self):
+        stream = io.StringIO()
+        configure(stream, level="info", json_mode=True)
+        with bind_trace_id("tr-ambient"):
+            log_event(get_logger("test"), logging.INFO, "hello",
+                      trace_id="tr-explicit")
+        assert json.loads(lines(stream)[0])["trace_id"] == "tr-explicit"
+
+    def test_exception_is_captured(self):
+        stream = io.StringIO()
+        configure(stream, level="info", json_mode=True)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            get_logger("test").exception("it failed")
+        payload = json.loads(lines(stream)[0])
+        assert "RuntimeError: boom" in payload["exc"]
+
+
+class TestTextLines:
+    def test_structured_tail(self):
+        stream = io.StringIO()
+        configure(stream, level="info", json_mode=False)
+        with bind_trace_id("tr-text"):
+            log_event(get_logger("test"), logging.INFO, "hello", job="j-1")
+        line = lines(stream)[0]
+        assert "hello" in line
+        assert "trace_id=tr-text" in line and "job=j-1" in line
+
+
+class TestConfiguration:
+    def test_default_level_is_warning(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        stream = io.StringIO()
+        configure(stream)
+        logger = get_logger("test")
+        logger.info("quiet")
+        logger.warning("loud")
+        assert len(lines(stream)) == 1
+
+    def test_env_level_and_json(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "debug")
+        monkeypatch.setenv("REPRO_LOG_JSON", "1")
+        stream = io.StringIO()
+        configure(stream)
+        get_logger("test").debug("fine-grained")
+        assert json.loads(lines(stream)[0])["message"] == "fine-grained"
+
+    def test_explicit_args_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "debug")
+        monkeypatch.setenv("REPRO_LOG_JSON", "1")
+        stream = io.StringIO()
+        configure(stream, level="error", json_mode=False)
+        logger = get_logger("test")
+        logger.warning("suppressed")
+        logger.error("shown")
+        only = lines(stream)
+        assert len(only) == 1 and "shown" in only[0]
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(only[0])  # text mode, not JSON
+
+    def test_reconfigure_swaps_handler(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure(first, level="info", json_mode=True)
+        configure(second, level="info", json_mode=True)
+        get_logger("test").info("once")
+        assert lines(first) == []
+        assert len(lines(second)) == 1
+
+    def test_formatters_are_the_configured_ones(self):
+        stream = io.StringIO()
+        handler = configure_logging(level="info", json_mode=True, stream=stream)
+        assert isinstance(handler.formatter, JsonFormatter)
+        handler = configure_logging(level="info", json_mode=False, stream=stream)
+        assert isinstance(handler.formatter, TextFormatter)
