@@ -526,7 +526,38 @@ def _broker_spec(args: argparse.Namespace) -> str | None:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import threading
 
-    from repro.service import DiskResultStore, SimulationService, make_server
+    from repro.service import (
+        ClientQuota,
+        DiskResultStore,
+        QuotaPolicy,
+        SimulationService,
+        TokenAuth,
+        is_loopback_host,
+        make_server,
+    )
+    from repro.service.core import DEFAULT_SMALL_JOB_BRANCHES
+
+    try:
+        auth = TokenAuth.from_sources(token_file=args.token_file)
+    except (OSError, ValueError) as error:
+        raise CLIError(f"serve: {error}") from None
+    if auth is None and not is_loopback_host(args.host):
+        raise CLIError(
+            f"serve: refusing to bind non-loopback address {args.host!r} "
+            "without authentication; configure tokens via REPRO_SERVICE_TOKENS "
+            "or --token-file"
+        )
+    quota = None
+    if args.rate is not None or args.max_client_jobs is not None:
+        try:
+            quota = ClientQuota(QuotaPolicy(
+                rate=args.rate, burst=args.burst,
+                max_client_jobs=args.max_client_jobs))
+        except ValueError as error:
+            raise CLIError(f"serve: {error}") from None
+    small_job_branches = args.small_job_branches
+    if small_job_branches is None and args.lanes:
+        small_job_branches = DEFAULT_SMALL_JOB_BRANCHES
 
     store = DiskResultStore(args.store_dir) if args.store_dir else None
     spec = _broker_spec(args)
@@ -535,24 +566,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         broker = connect_broker(spec)
         service = SimulationService(store=store, queue_size=args.queue_size,
-                                    broker=broker)
+                                    broker=broker, quota=quota,
+                                    small_job_branches=small_job_branches)
         mode = f"broker={broker.describe()}"
     else:
         runner = Runner(_runner_config(args), persistent=True)
         service = SimulationService(runner=runner, store=store,
-                                    queue_size=args.queue_size)
+                                    queue_size=args.queue_size, quota=quota,
+                                    small_job_branches=small_job_branches)
         workers = runner.config.workers
         mode = f"workers={'auto' if workers is None else workers}"
-    server = make_server(service, host=args.host, port=args.port, quiet=not args.verbose)
+    server = make_server(service, host=args.host, port=args.port,
+                         quiet=not args.verbose, auth=auth)
     stop = threading.Event()
     _install_drain_handlers(stop)
     with service:
+        recovered = service.recover()
+        if recovered:
+            _banner(f"recovered {recovered} queued job(s) from the store")
         _banner(f"repro service listening on {server.url}",
-                mode=mode, queue=args.queue_size)
+                mode=mode, queue=args.queue_size,
+                lanes=",".join(service.lanes),
+                auth="token" if auth is not None else "open")
         # serve_forever runs on a helper thread so the main thread can
-        # take SIGTERM/SIGINT and drain gracefully: stop accepting,
-        # finish in-flight jobs (service.close inside the with-exit),
-        # then return.
+        # take SIGTERM/SIGINT and drain gracefully: stop accepting (new
+        # submits answer 503 + Connection: close), park still-queued
+        # jobs in the store for the next process, finish running jobs,
+        # then return 0.
         pump = threading.Thread(target=server.serve_forever,
                                 name="repro-serve-http", daemon=True)
         pump.start()
@@ -561,6 +601,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             pass  # no handler installed (non-main thread): same drain path
         _banner("draining: finishing in-flight jobs, then exiting")
+        parked = service.drain()
+        if parked:
+            _banner(f"parked {parked} queued job(s) for the next process")
         server.shutdown()
         pump.join()
         server.server_close()
@@ -599,6 +642,19 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_token_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--token", default=None, metavar="TOKEN",
+                        help="bearer token for authenticated services "
+                             "(default: REPRO_SERVICE_TOKEN)")
+
+
+def _service_client(args: argparse.Namespace) -> "Any":
+    from repro.service import ServiceClient
+
+    token = args.token or os.environ.get("REPRO_SERVICE_TOKEN") or None
+    return ServiceClient(args.url, token=token)
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.broker:
         from repro.distrib import connect_broker
@@ -609,10 +665,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         finally:
             broker.close()
     else:
-        from repro.service import ServiceClient, ServiceClientError
+        from repro.service import ServiceClientError
 
         try:
-            fleet = ServiceClient(args.url).fleet()
+            fleet = _service_client(args).fleet()
         except ServiceClientError as error:
             raise CLIError(f"fleet: {error}") from None
     if args.json:
@@ -657,9 +713,9 @@ def _print_dead_letters(dead: Any) -> None:
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
-    from repro.service import ServiceClient, ServiceClientError
+    from repro.service import ServiceClientError
 
-    client = ServiceClient(args.url)
+    client = _service_client(args)
     try:
         if args.metrics:
             text = client.metrics()
@@ -704,11 +760,11 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from repro.service import ServiceClient, ServiceClientError
+    from repro.service import ServiceClientError
     from repro.service.protocol import TERMINAL_STATUSES
 
     requests = _build_requests(args, "submit")
-    client = ServiceClient(args.url)
+    client = _service_client(args)
     # Minted client-side (unless --trace-id pins it) so the submitting
     # process can grep its own logs by the same id the service echoes.
     trace_id = args.trace_id or new_trace_id()
@@ -727,7 +783,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     status = document["status"]
     if args.no_wait or status not in TERMINAL_STATUSES:
         # Not terminal (or not awaited): print the job document so the
-        # caller can poll GET /v1/runs/<id> themselves.
+        # caller can poll GET /v2/runs/<id> themselves.
         _print_json(document)
         return 0 if args.no_wait else 3
     if status == "failed":
@@ -752,9 +808,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _cmd_cancel(args: argparse.Namespace) -> int:
-    from repro.service import ServiceClient, ServiceClientError
+    from repro.service import ServiceClientError
 
-    client = ServiceClient(args.url)
+    client = _service_client(args)
     try:
         document = client.cancel(args.job_id)
     except ServiceClientError as error:
@@ -872,12 +928,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve", help="run the HTTP simulation service",
-        description="Serve POST /v1/runs, GET /v1/runs/<id>, GET /v1/healthz and "
-                    "GET /v1/stats over a bounded job queue and a persistent "
-                    "warm worker pool.  Stop with Ctrl-C.",
+        description="Serve the v2 HTTP API (POST/GET /v2/runs, /v2/capabilities, "
+                    "/v2/healthz, /v2/stats, /v2/metrics; /v1 stays as a "
+                    "deprecated shim) over a bounded job queue and a persistent "
+                    "warm worker pool.  SIGTERM/Ctrl-C drain gracefully: new "
+                    "submits answer 503, running jobs finish, still-queued jobs "
+                    "are parked in the store for the next process.",
     )
     serve.add_argument("--host", default="127.0.0.1", metavar="ADDR",
-                       help="bind address (default 127.0.0.1)")
+                       help="bind address (default 127.0.0.1; non-loopback "
+                            "binds require tokens)")
     serve.add_argument("--port", type=int, default=8321, metavar="PORT",
                        help="bind port (default 8321; 0 picks a free port)")
     serve.add_argument("--queue-size", type=int, default=64, metavar="N",
@@ -891,6 +951,24 @@ def _build_parser() -> argparse.ArgumentParser:
                             "executing locally: a shared directory path, "
                             "'memory', or a redis:// URL (default: "
                             "REPRO_BROKER, else local execution)")
+    serve.add_argument("--token-file", default=None, metavar="FILE",
+                       help="bearer tokens, one 'client=token' (or bare token) "
+                            "per line; overrides REPRO_SERVICE_TOKENS")
+    serve.add_argument("--lanes", action="store_true",
+                       help="split dispatch into interactive + batch priority "
+                            "lanes (small jobs never queue behind big batches)")
+    serve.add_argument("--small-job-branches", type=int, default=None, metavar="N",
+                       help="estimated-branch threshold below which a job takes "
+                            "the interactive lane (implies --lanes; default "
+                            "200000 with --lanes)")
+    serve.add_argument("--rate", type=float, default=None, metavar="R",
+                       help="per-client submit rate limit, submissions/second "
+                            "(token bucket; over-limit answers 429)")
+    serve.add_argument("--burst", type=int, default=10, metavar="N",
+                       help="token-bucket burst size for --rate (default 10)")
+    serve.add_argument("--max-client-jobs", type=int, default=None, metavar="N",
+                       help="max queued+running jobs per client; over-cap "
+                            "answers 429")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
     _add_runner_options(serve)
@@ -922,7 +1000,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     fleet = sub.add_parser(
         "fleet", help="show broker queue depth and worker liveness",
-        description="Render the fleet section of GET /v1/stats — job counts per "
+        description="Render the fleet section of GET /v2/stats — job counts per "
                     "broker state plus one row per registered worker (liveness, "
                     "heartbeat age, jobs completed/failed, capability tags).  "
                     "--broker reads the broker directly, without a front end.",
@@ -932,6 +1010,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--broker", default=None, metavar="SPEC",
                        help="read this broker directly instead of asking a "
                             "front end")
+    _add_token_option(fleet)
     fleet.add_argument("--json", action="store_true", help="machine-readable output")
     fleet.set_defaults(func=_cmd_fleet)
 
@@ -954,7 +1033,7 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--request", metavar="FILE",
                         help="load a serialized RunRequest JSON instead of building one")
     submit.add_argument("--sync", action="store_true",
-                        help="use POST /v1/runs?wait=1 instead of submit-then-poll")
+                        help="use POST /v2/runs?wait=1 instead of submit-then-poll")
     submit.add_argument("--no-wait", action="store_true",
                         help="submit and print the job document without waiting")
     submit.add_argument("--timeout", type=float, default=120.0, metavar="S",
@@ -965,6 +1044,7 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--trace-id", type=_parse_trace_id, default=None, metavar="ID",
                         help="trace id to follow the job through service and "
                              "worker logs (default: minted client-side)")
+    _add_token_option(submit)
     submit.add_argument("--json", action="store_true", help="machine-readable output")
     _add_pipeline_options(submit)
     _add_shard_options(submit)
@@ -972,28 +1052,30 @@ def _build_parser() -> argparse.ArgumentParser:
 
     top = sub.add_parser(
         "top", help="show a running service's queue, jobs and fleet at a glance",
-        description="Render GET /v1/stats as a short operator summary: queue "
-                    "depth, job counters, dispatcher utilization, pool and "
-                    "cache health, plus the broker fleet and its dead letters "
-                    "in broker mode.  --metrics dumps the raw Prometheus text "
-                    "from GET /v1/metrics instead.",
+        description="Render GET /v2/stats as a short operator summary: queue "
+                    "depth, job counters, dispatcher and lane utilization, pool "
+                    "and cache health, plus the broker fleet and its dead "
+                    "letters in broker mode.  --metrics dumps the raw "
+                    "Prometheus text from GET /v2/metrics instead.",
     )
     top.add_argument("--url", default="http://127.0.0.1:8321", metavar="URL",
                      help="service base URL (default http://127.0.0.1:8321)")
     top.add_argument("--metrics", action="store_true",
-                     help="print the raw /v1/metrics exposition and exit")
+                     help="print the raw /v2/metrics exposition and exit")
+    _add_token_option(top)
     top.add_argument("--json", action="store_true", help="machine-readable output")
     top.set_defaults(func=_cmd_top)
 
     cancel = sub.add_parser(
         "cancel", help="cancel a queued job on a repro service",
-        description="DELETE /v1/runs/<id>: queued jobs cancel; running or "
+        description="DELETE /v2/runs/<id>: queued jobs cancel; running or "
                     "finished jobs answer 409 (a running batch executes to "
                     "completion).",
     )
     cancel.add_argument("job_id", help="job id returned by 'repro submit'")
     cancel.add_argument("--url", default="http://127.0.0.1:8321", metavar="URL",
                         help="service base URL (default http://127.0.0.1:8321)")
+    _add_token_option(cancel)
     cancel.add_argument("--json", action="store_true", help="machine-readable output")
     cancel.set_defaults(func=_cmd_cancel)
 

@@ -2,23 +2,30 @@
 
 A stdlib-only front end that turns the serializable run API into a
 long-running server: clients ``POST`` :class:`~repro.api.request.RunRequest`
-JSON, jobs flow through a bounded in-process queue, and a dispatcher
-executes them on a :class:`~repro.api.runner.Runner` in persistent mode —
-one long-lived :class:`~repro.pipeline.parallel.WorkerPool` whose workers
-keep warm predictor instances, so many small requests never pay process
-spawn or predictor construction.
+JSON, jobs flow through bounded in-process queues, and per-lane
+dispatchers execute them on :class:`~repro.api.runner.Runner` instances
+in persistent mode — long-lived :class:`~repro.pipeline.parallel.WorkerPool`
+workers keep warm predictor instances, so many small requests never pay
+process spawn or predictor construction.
 
 Layers (each usable on its own):
 
 * :mod:`repro.service.protocol` — the job model and submission parsing,
 * :mod:`repro.service.store` — pluggable result stores (memory / disk),
-* :mod:`repro.service.core` — :class:`SimulationService`: queue,
-  dispatcher thread, stats,
-* :mod:`repro.service.app` — the ``http.server`` application
-  (``POST /v1/runs``, ``GET /v1/runs/<id>``, ``DELETE /v1/runs/<id>``,
-  ``GET /v1/healthz``, ``GET /v1/stats``),
+* :mod:`repro.service.quota` — per-client rate limits and job caps,
+* :mod:`repro.service.auth` — bearer-token authentication,
+* :mod:`repro.service.core` — :class:`SimulationService`: queues,
+  priority lanes, dispatcher threads, graceful drain, stats,
+* :mod:`repro.service.aio` — the asyncio HTTP/1.1 transport,
+* :mod:`repro.service.app` — the application: the current ``/v2/``
+  API (error envelope, pagination, capabilities) plus the frozen
+  ``/v1/`` deprecation shim,
+* :mod:`repro.service.threaded` — the retired ``http.server`` front
+  end, kept as the benchmark baseline,
 * :mod:`repro.service.client` — a urllib client (used by
-  ``repro submit`` and the tests).
+  ``repro submit`` and the tests),
+* :mod:`repro.service.spec` — the machine-readable endpoint table
+  (``python -m repro.service.spec``) CI diffs against the README.
 
 Start one with ``repro serve`` or::
 
@@ -30,11 +37,12 @@ Start one with ``repro serve`` or::
 For multi-host deployments, construct the service with a
 :mod:`repro.distrib` broker (``repro serve --broker <spec>``): jobs are
 published to the broker and executed by a separate ``repro worker``
-fleet instead of an in-process runner; ``GET /v1/stats`` then carries a
+fleet instead of an in-process runner; ``GET /v2/stats`` then carries a
 ``fleet`` section with per-worker liveness and throughput.
 """
 
 from repro.service.app import ServiceHTTPServer, make_server, serve
+from repro.service.auth import AuthError, TokenAuth, is_loopback_host
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.core import (
     CancelConflictError,
@@ -43,25 +51,41 @@ from repro.service.core import (
     SimulationService,
     UnknownJobError,
 )
-from repro.service.protocol import Job, JobStatus, ProtocolError, parse_submission
+from repro.service.protocol import (
+    Job,
+    JobStatus,
+    ProtocolError,
+    estimate_branches,
+    parse_submission,
+)
+from repro.service.quota import ClientQuota, QuotaPolicy, RateLimitedError
 from repro.service.store import DiskResultStore, MemoryResultStore, ResultStore
+from repro.service.threaded import make_threaded_server
 
 __all__ = [
+    "AuthError",
     "CancelConflictError",
+    "ClientQuota",
     "DiskResultStore",
     "Job",
     "JobStatus",
     "MemoryResultStore",
     "ProtocolError",
     "QueueFullError",
+    "QuotaPolicy",
+    "RateLimitedError",
     "ResultStore",
     "ServiceClient",
     "ServiceClientError",
     "ServiceClosedError",
     "ServiceHTTPServer",
     "SimulationService",
+    "TokenAuth",
     "UnknownJobError",
+    "estimate_branches",
+    "is_loopback_host",
     "make_server",
+    "make_threaded_server",
     "parse_submission",
     "serve",
 ]

@@ -1,50 +1,70 @@
-"""The stdlib HTTP application over :class:`SimulationService`.
+"""The HTTP application over :class:`SimulationService` — asyncio edition.
 
-``http.server`` only — no framework, no new dependencies.  The server is
-a :class:`ThreadingHTTPServer`, so slow clients and long ``?wait=1``
-polls never block each other; all shared state lives behind the
-service's own locks.
+Stdlib only, no frameworks: the transport is
+:class:`~repro.service.aio.AsyncHTTPServer` (one coroutine per
+connection), so thousands of idle ``?wait=1`` long-polls cost an
+``asyncio.Event`` each instead of a thread.  Job completion wakes
+waiters through :meth:`SimulationService.subscribe` callbacks bridged
+onto the event loop with ``loop.call_soon_threadsafe``.
 
-Endpoints (all JSON):
+Two API generations share one router:
 
-===========================  ==================================================
-``POST /v1/runs``            submit one request object or a list; ``202`` with
-                             the job document (``Location: /v1/runs/<id>``).
-``POST /v1/runs?wait=1``     same, but block until terminal (``timeout=S``
-                             query, default 60): ``200`` when finished,
-                             ``202`` with the still-running document on
-                             timeout.
-``GET /v1/runs/<id>``        the job document; ``404`` for unknown ids.
-``DELETE /v1/runs/<id>``     cancel a queued job: ``200`` with the
-                             cancelled document; ``409`` when it is
-                             already running or terminal.
-``GET /v1/healthz``          liveness: ``{"status": "ok"}`` plus uptime.
-``GET /v1/stats``            queue depth, job counters, dispatcher
-                             utilization, warm-pool and cache hit rates.
-``GET /v1/metrics``          Prometheus text exposition (the one
-                             non-JSON endpoint): runner, cache, queue
-                             and broker/fleet series, including metric
-                             snapshots shipped back by fleet workers.
-===========================  ==================================================
+**v2** (current) — uniform JSON error envelope
+``{"error": {"code", "message", "retry_after?", "trace_id"}}`` on every
+non-2xx, paginated run listing, capability discovery:
 
-Trace ids: ``POST /v1/runs`` adopts a client-minted ``X-Trace-Id``
-header (or mints one), echoes it as a response header, and carries it
-in the job document — so client logs, service logs and worker logs all
-grep by the same id.
+=================================  ==========================================
+``POST /v2/runs``                  submit; ``202`` + ``Location``
+                                   (``?wait=1&timeout=S`` holds: ``200``
+                                   terminal / ``202`` on timeout)
+``GET /v2/runs``                   list known runs:
+                                   ``?status=&limit=&cursor=``
+``GET /v2/runs/<id>``              one job document
+``DELETE /v2/runs/<id>``           cancel a queued job
+``GET /v2/capabilities``           backends, lanes, auth mode, limits
+``GET /v2/healthz``                liveness (+ drain state)
+``GET /v2/stats``                  queue/lane/client/pool statistics
+``GET /v2/metrics``                Prometheus text exposition
+=================================  ==========================================
 
-Error mapping: malformed body/submission → 400, unknown job → 404,
-uncancellable job → 409, queue full → 503 with ``Retry-After``, closed
-service → 503.
+**v1** (deprecated shim) — the original endpoints with responses
+byte-identical to the threaded server, plus a ``Deprecation: true``
+header.  New clients should use v2; v1 exists so deployed scripts keep
+working unchanged.
+
+Auth: when a :class:`~repro.service.auth.TokenAuth` is configured,
+every endpoint except ``*/healthz`` requires ``Authorization: Bearer
+<token>`` (unauthenticated loopback peers are exempt unless disabled).
+The token's client identity keys per-client quotas
+(:mod:`repro.service.quota`) — over-limit submits get ``429`` with
+``Retry-After``.
+
+Graceful drain: once :meth:`SimulationService.begin_drain` runs, new
+submissions get ``503`` with ``Connection: close`` while reads and
+waits keep working, so a load balancer can rotate the instance out
+without failing in-flight clients.
 """
 
 from __future__ import annotations
 
+import asyncio
+import base64
+import binascii
+import contextlib
 import json
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+import math
 from typing import Any
-from urllib.parse import parse_qs, urlsplit
 
 import repro
+from repro.obs import ensure_trace_id, get_metrics, new_trace_id
+from repro.predictors.registry import available
+from repro.service.aio import (
+    MAX_BODY_BYTES,
+    AsyncHTTPServer,
+    HTTPRequest,
+    HTTPResponse,
+)
+from repro.service.auth import ANONYMOUS_CLIENT, AuthError, TokenAuth
 from repro.service.core import (
     CancelConflictError,
     QueueFullError,
@@ -52,187 +72,491 @@ from repro.service.core import (
     SimulationService,
     UnknownJobError,
 )
-from repro.service.protocol import TERMINAL_STATUSES, ProtocolError
+from repro.service.protocol import (
+    MAX_BATCH_REQUESTS,
+    TERMINAL_STATUSES,
+    JobStatus,
+    ProtocolError,
+)
+from repro.service.quota import RateLimitedError
 
 __all__ = ["ServiceHTTPServer", "make_server", "serve"]
 
 #: Default/ceiling for the synchronous ``?wait=1`` hold, seconds.
 DEFAULT_WAIT_TIMEOUT = 60.0
 MAX_WAIT_TIMEOUT = 600.0
-#: Submission bodies above this are rejected unread (413).
-MAX_BODY_BYTES = 8 * 1024 * 1024
 
 _TRUTHY = {"1", "true", "yes", "on"}
 
+#: The frozen ``/v1/stats`` key set (and order): the deprecation shim
+#: must not grow keys as the service does, or v1 bodies stop being
+#: byte-identical to the threaded server's.
+_V1_STATS_KEYS = (
+    "uptime_seconds", "mode", "queue", "jobs", "dispatcher",
+    "pool", "result_cache", "store", "fleet",
+)
 
-class ServiceHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`SimulationService`."""
+_STATUS_VALUES = frozenset(status.value for status in JobStatus)
 
-    daemon_threads = True
+_DEFAULT_PAGE = 50
+_MAX_PAGE = 500
 
-    def __init__(self, address: tuple[str, int], service: SimulationService,
-                 quiet: bool = True) -> None:
-        super().__init__(address, _Handler)
+
+def _http_requests():
+    return get_metrics().counter(
+        "repro_service_http_requests_total",
+        "HTTP requests served, by method and status.", ("method", "status"))
+
+
+def _parser_error_response(status: int, code: str, message: str) -> HTTPResponse:
+    """Render transport-level parse failures (no API version to key on)
+    in the v2 envelope — these requests never had a valid v1 shape."""
+    trace_id = new_trace_id()
+    return HTTPResponse.json(
+        status,
+        {"error": {"code": code, "message": message, "trace_id": trace_id}},
+        headers={"X-Trace-Id": trace_id},
+        close=True,
+    )
+
+
+def _encode_cursor(document: dict[str, Any]) -> str:
+    raw = f"{document.get('created') or 0.0}|{document['id']}".encode("utf-8")
+    return base64.urlsafe_b64encode(raw).decode("ascii")
+
+
+def _decode_cursor(cursor: str) -> tuple[float, str]:
+    raw = base64.urlsafe_b64decode(cursor.encode("ascii")).decode("utf-8")
+    created, _, job_id = raw.partition("|")
+    if not job_id:
+        raise ValueError(cursor)
+    return float(created), job_id
+
+
+class ServiceHTTPServer(AsyncHTTPServer):
+    """The asyncio HTTP server bound to one :class:`SimulationService`."""
+
+    def __init__(
+        self,
+        service: SimulationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+        auth: TokenAuth | None = None,
+        header_timeout: float | None = None,
+        body_timeout: float | None = None,
+    ) -> None:
         self.service = service
-        self.quiet = quiet
-
-    @property
-    def url(self) -> str:
-        host, port = self.server_address[:2]
-        return f"http://{host}:{port}"
-
-
-class _Handler(BaseHTTPRequestHandler):
-    server: ServiceHTTPServer
-    server_version = f"repro-service/{repro.__version__}"
-    # HTTP/1.1 keep-alive: every response below carries Content-Length.
-    protocol_version = "HTTP/1.1"
+        self.auth = auth
+        kwargs: dict[str, Any] = {
+            "max_body_bytes": MAX_BODY_BYTES,
+            "error_renderer": _parser_error_response,
+            "quiet": quiet,
+        }
+        if header_timeout is not None:
+            kwargs["header_timeout"] = header_timeout
+        if body_timeout is not None:
+            kwargs["body_timeout"] = body_timeout
+        super().__init__(self._handle, host, port, **kwargs)
 
     # ------------------------------------------------------------------
-    # Plumbing
+    # Router
     # ------------------------------------------------------------------
 
-    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        if not self.server.quiet:
-            super().log_message(format, *args)
+    async def _handle(self, request: HTTPRequest) -> HTTPResponse:
+        path = request.path.rstrip("/") or "/"
+        response = await self._route(request, path)
+        _http_requests().inc(method=request.method, status=str(response.status))
+        return response
 
-    def _reply(self, code: int, payload: dict, headers: dict[str, str] | None = None) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        if self.close_connection:
-            # Set when the request body was not consumed (oversize/absent):
-            # advertise the close instead of silently dropping keep-alive.
-            self.send_header("Connection", "close")
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+    async def _route(self, request: HTTPRequest, path: str) -> HTTPResponse:
+        v2 = path == "/v2" or path.startswith("/v2/")
+        try:
+            client = self._authenticate(request, path)
+        except AuthError as error:
+            trace_id = ensure_trace_id(request.header("x-trace-id"))
+            return self._v2_error(
+                401, "unauthorized", str(error), trace_id,
+                headers={"WWW-Authenticate": "Bearer"},
+            )
+        if v2:
+            return await self._v2(request, path, client)
+        if path == "/" and request.method == "GET":
+            return HTTPResponse.json(200, {
+                "service": "repro",
+                "version": repro.__version__,
+                "api_versions": ["v1", "v2"],
+                "capabilities": "/v2/capabilities",
+                "deprecated": {"v1": "frozen; use /v2/"},
+            })
+        return await self._v1(request, path, client)
 
-    def _error(self, code: int, message: str, headers: dict[str, str] | None = None) -> None:
-        self._reply(code, {"error": message}, headers)
+    def _authenticate(self, request: HTTPRequest, path: str) -> str:
+        """The request's client identity; raises :class:`AuthError`.
 
-    def _reply_text(self, code: int, text: str, content_type: str) -> None:
-        body = text.encode("utf-8")
-        self.send_response(code)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _query(self) -> dict[str, str]:
-        query = parse_qs(urlsplit(self.path).query)
-        return {key: values[-1] for key, values in query.items()}
-
-    def _path(self) -> str:
-        return urlsplit(self.path).path.rstrip("/") or "/"
+        ``*/healthz`` stays open — load balancers probe it without
+        credentials.
+        """
+        if self.auth is None:
+            return ANONYMOUS_CLIENT
+        if path in ("/v1/healthz", "/v2/healthz"):
+            return ANONYMOUS_CLIENT
+        token = None
+        header = request.header("authorization")
+        if header is not None and header.lower().startswith("bearer "):
+            token = header[len("bearer "):].strip()
+        return self.auth.identify(token, request.peer_host)
 
     # ------------------------------------------------------------------
-    # Routes
+    # Shared helpers
     # ------------------------------------------------------------------
 
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = self._path()
-        service = self.server.service
-        if path == "/v1/healthz":
-            # Liveness only — no filesystem scans (stats() walks the cache
-            # and store directories, far too heavy for a frequent probe).
-            self._reply(200, {
+    async def _await_job(self, job_id: str, timeout: float) -> dict[str, Any]:
+        """Hold the request coroutine until the job is terminal.
+
+        The dispatcher/watcher threads fire the subscription callback,
+        which hops onto this loop via ``call_soon_threadsafe`` — the
+        waiting connection costs one coroutine and one ``asyncio.Event``,
+        never a thread.
+        """
+        service = self.service
+        loop = asyncio.get_running_loop()
+        event = asyncio.Event()
+        subscribed = service.subscribe(
+            job_id, lambda: loop.call_soon_threadsafe(event.set))
+        if subscribed and timeout > 0:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(event.wait(), timeout)
+        return service.job(job_id)
+
+    @staticmethod
+    def _wait_params(request: HTTPRequest) -> tuple[bool, float]:
+        wait = request.query.get("wait", "").lower() in _TRUTHY
+        try:
+            timeout = float(request.query.get("timeout", DEFAULT_WAIT_TIMEOUT))
+        except ValueError:
+            timeout = DEFAULT_WAIT_TIMEOUT
+        return wait, max(0.0, min(timeout, MAX_WAIT_TIMEOUT))
+
+    # ------------------------------------------------------------------
+    # v1 — the deprecation shim (bodies byte-identical to the threaded
+    # server; the only addition is the Deprecation header)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _v1_reply(code: int, payload: dict, headers: dict[str, str] | None = None,
+                  close: bool = False) -> HTTPResponse:
+        extra = dict(headers or {})
+        extra["Deprecation"] = "true"
+        return HTTPResponse.json(code, payload, extra, close=close)
+
+    @classmethod
+    def _v1_error(cls, code: int, message: str,
+                  headers: dict[str, str] | None = None,
+                  close: bool = False) -> HTTPResponse:
+        return cls._v1_reply(code, {"error": message}, headers, close=close)
+
+    async def _v1(self, request: HTTPRequest, path: str, client: str) -> HTTPResponse:
+        service = self.service
+        method = request.method
+        if method == "GET":
+            if path == "/v1/healthz":
+                # Liveness only — no filesystem scans (stats() walks the
+                # cache and store directories, far too heavy for a probe).
+                return self._v1_reply(200, {
+                    "status": "ok",
+                    "version": repro.__version__,
+                    **service.health(),
+                })
+            if path == "/v1/stats":
+                stats = service.stats()
+                return self._v1_reply(
+                    200, {key: stats[key] for key in _V1_STATS_KEYS})
+            if path == "/v1/metrics":
+                # Prometheus text exposition format, version 0.0.4.
+                response = HTTPResponse.text(
+                    200, service.metrics_text(),
+                    "text/plain; version=0.0.4; charset=utf-8")
+                response.headers.append(("Deprecation", "true"))
+                return response
+            if path.startswith("/v1/runs/"):
+                job_id = path[len("/v1/runs/"):]
+                if "/" in job_id or not job_id:
+                    return self._v1_error(404, f"no such resource {path!r}")
+                try:
+                    return self._v1_reply(200, service.job(job_id))
+                except UnknownJobError:
+                    return self._v1_error(404, f"unknown job {job_id!r}")
+            return self._v1_error(404, f"no such resource {path!r}")
+        if method == "DELETE":
+            if not path.startswith("/v1/runs/"):
+                return self._v1_error(404, f"no such resource {path!r}")
+            job_id = path[len("/v1/runs/"):]
+            if "/" in job_id or not job_id:
+                return self._v1_error(404, f"no such resource {path!r}")
+            try:
+                return self._v1_reply(200, service.cancel(job_id))
+            except UnknownJobError:
+                return self._v1_error(404, f"unknown job {job_id!r}")
+            except CancelConflictError as error:
+                return self._v1_error(409, str(error))
+        if method == "POST":
+            return await self._v1_post(request, path, client)
+        return self._v1_error(404, f"no such resource {path!r}")
+
+    async def _v1_post(self, request: HTTPRequest, path: str, client: str) -> HTTPResponse:
+        service = self.service
+        # Reconstruct the threaded server's Content-Length view so every
+        # error body (and its Connection: close decision) stays
+        # byte-identical: chunked uploads had no Content-Length there.
+        if request.body_issue == "bad_length":
+            length = -1
+        elif request.body_issue == "too_large":
+            length = request.declared_length
+        elif request.body_issue == "chunked":
+            length = 0
+        else:
+            length = len(request.body)
+        close = path != "/v1/runs" or not (0 < length <= MAX_BODY_BYTES)
+        if path != "/v1/runs":
+            return self._v1_error(404, f"no such resource {path!r}", close=close)
+        if length < 0:
+            return self._v1_error(400, "invalid Content-Length", close=close)
+        if length == 0:
+            return self._v1_error(400, "request body required", close=close)
+        if length > MAX_BODY_BYTES:
+            return self._v1_error(
+                413, f"request body exceeds {MAX_BODY_BYTES} bytes", close=close)
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return self._v1_error(400, f"invalid JSON body: {error}")
+        try:
+            job = service.submit_payload(
+                payload, trace_id=request.header("x-trace-id"), client=client)
+        except ProtocolError as error:
+            return self._v1_error(400, str(error))
+        except QueueFullError as error:
+            return self._v1_error(503, str(error), headers={"Retry-After": "1"})
+        except RateLimitedError as error:
+            return self._v1_error(
+                429, str(error),
+                headers={"Retry-After": str(max(1, math.ceil(error.retry_after)))})
+        except ServiceClosedError as error:
+            # Draining: advertise the close so clients re-resolve.
+            return self._v1_error(503, str(error), close=service.draining)
+
+        location = {"Location": f"/v1/runs/{job.id}", "X-Trace-Id": job.trace_id}
+        wait, timeout = self._wait_params(request)
+        if wait:
+            document = await self._await_job(job.id, timeout)
+            finished = document["status"] in TERMINAL_STATUSES
+            return self._v1_reply(200 if finished else 202, document, location)
+        return self._v1_reply(202, job.to_dict(), location)
+
+    # ------------------------------------------------------------------
+    # v2 — the current surface
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _v2_error(status: int, code: str, message: str, trace_id: str,
+                  retry_after: float | None = None,
+                  headers: dict[str, str] | None = None,
+                  close: bool = False) -> HTTPResponse:
+        envelope: dict[str, Any] = {
+            "code": code, "message": message, "trace_id": trace_id,
+        }
+        extra = dict(headers or {})
+        if retry_after is not None:
+            envelope["retry_after"] = retry_after
+            extra["Retry-After"] = str(max(1, math.ceil(retry_after)))
+        extra["X-Trace-Id"] = trace_id
+        return HTTPResponse.json(status, {"error": envelope}, extra, close=close)
+
+    async def _v2(self, request: HTTPRequest, path: str, client: str) -> HTTPResponse:
+        service = self.service
+        method = request.method
+        trace_id = ensure_trace_id(request.header("x-trace-id"))
+        if path == "/v2/runs":
+            if method == "POST":
+                return await self._v2_submit(request, client, trace_id)
+            if method == "GET":
+                return self._v2_list(request, trace_id)
+            return self._v2_error(
+                405, "method_not_allowed", f"{method} not allowed on {path}",
+                trace_id, headers={"Allow": "GET, POST"})
+        if path.startswith("/v2/runs/"):
+            job_id = path[len("/v2/runs/"):]
+            if "/" in job_id or not job_id:
+                return self._v2_error(
+                    404, "not_found", f"no such resource {path!r}", trace_id)
+            if method == "GET":
+                try:
+                    return HTTPResponse.json(200, service.job(job_id))
+                except UnknownJobError:
+                    return self._v2_error(
+                        404, "unknown_job", f"unknown job {job_id!r}", trace_id)
+            if method == "DELETE":
+                try:
+                    return HTTPResponse.json(200, service.cancel(job_id))
+                except UnknownJobError:
+                    return self._v2_error(
+                        404, "unknown_job", f"unknown job {job_id!r}", trace_id)
+                except CancelConflictError as error:
+                    return self._v2_error(
+                        409, "cancel_conflict", str(error), trace_id)
+            return self._v2_error(
+                405, "method_not_allowed", f"{method} not allowed on {path}",
+                trace_id, headers={"Allow": "GET, DELETE"})
+        if method != "GET":
+            return self._v2_error(
+                405, "method_not_allowed", f"{method} not allowed on {path}",
+                trace_id, headers={"Allow": "GET"})
+        if path == "/v2/healthz":
+            return HTTPResponse.json(200, {
                 "status": "ok",
                 "version": repro.__version__,
                 **service.health(),
+                "draining": service.draining,
             })
-        elif path == "/v1/stats":
-            self._reply(200, service.stats())
-        elif path == "/v1/metrics":
-            # Prometheus text exposition format, version 0.0.4.
-            self._reply_text(
+        if path == "/v2/stats":
+            stats = service.stats()
+            stats["http"] = {"open_connections": self.open_connections}
+            return HTTPResponse.json(200, stats)
+        if path == "/v2/metrics":
+            return HTTPResponse.text(
                 200, service.metrics_text(),
                 "text/plain; version=0.0.4; charset=utf-8")
-        elif path.startswith("/v1/runs/"):
-            job_id = path[len("/v1/runs/"):]
-            if "/" in job_id or not job_id:
-                self._error(404, f"no such resource {path!r}")
-                return
-            try:
-                self._reply(200, service.job(job_id))
-            except UnknownJobError:
-                self._error(404, f"unknown job {job_id!r}")
-        else:
-            self._error(404, f"no such resource {path!r}")
+        if path == "/v2/capabilities":
+            return HTTPResponse.json(200, self._capabilities())
+        return self._v2_error(
+            404, "not_found", f"no such resource {path!r}", trace_id)
 
-    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
-        path = self._path()
-        if not path.startswith("/v1/runs/"):
-            self._error(404, f"no such resource {path!r}")
-            return
-        job_id = path[len("/v1/runs/"):]
-        if "/" in job_id or not job_id:
-            self._error(404, f"no such resource {path!r}")
-            return
-        try:
-            self._reply(200, self.server.service.cancel(job_id))
-        except UnknownJobError:
-            self._error(404, f"unknown job {job_id!r}")
-        except CancelConflictError as error:
-            self._error(409, str(error))
+    def _capabilities(self) -> dict[str, Any]:
+        service = self.service
+        quota = service.quota
+        return {
+            "version": repro.__version__,
+            "api_versions": ["v1", "v2"],
+            "mode": "broker" if service.broker is not None else "local",
+            "draining": service.draining,
+            "backends": list(available()),
+            "lanes": {
+                "enabled": service.small_job_branches is not None,
+                "threshold_branches": service.small_job_branches,
+                "names": list(service.lanes),
+            },
+            "auth": {
+                "enabled": self.auth is not None,
+                "loopback_exempt": self.auth.allow_loopback if self.auth else True,
+                "clients": self.auth.clients if self.auth else [],
+            },
+            "limits": {
+                "max_body_bytes": self.max_body_bytes,
+                "max_batch_requests": MAX_BATCH_REQUESTS,
+                "queue_size": service.queue_size,
+                "max_wait_timeout_seconds": MAX_WAIT_TIMEOUT,
+                "quota": quota.policy.to_dict() if quota is not None else None,
+            },
+        }
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        path = self._path()
+    def _v2_list(self, request: HTTPRequest, trace_id: str) -> HTTPResponse:
+        query = request.query
+        status = query.get("status")
+        if status is not None and status not in _STATUS_VALUES:
+            return self._v2_error(
+                400, "invalid_status",
+                f"unknown status {status!r}; one of {sorted(_STATUS_VALUES)}",
+                trace_id)
         try:
-            length = int(self.headers.get("Content-Length") or 0)
+            limit = int(query.get("limit", _DEFAULT_PAGE))
+            if limit < 1:
+                raise ValueError(limit)
         except ValueError:
-            length = -1
-        if path != "/v1/runs" or not (0 < length <= MAX_BODY_BYTES):
-            # Replying without consuming the body would leave it in the
-            # socket for the next keep-alive request to parse as garbage.
-            self.close_connection = True
-        if path != "/v1/runs":
-            self._error(404, f"no such resource {path!r}")
-            return
-        if length < 0:
-            self._error(400, "invalid Content-Length")
-            return
-        if length == 0:
-            self._error(400, "request body required")
-            return
-        if length > MAX_BODY_BYTES:
-            self._error(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
-            return
-        try:
-            payload = json.loads(self.rfile.read(length).decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            self._error(400, f"invalid JSON body: {error}")
-            return
+            return self._v2_error(
+                400, "invalid_limit",
+                f"limit must be a positive integer, got {query.get('limit')!r}",
+                trace_id)
+        limit = min(limit, _MAX_PAGE)
+        after: tuple[float, str] | None = None
+        cursor = query.get("cursor")
+        if cursor:
+            try:
+                after = _decode_cursor(cursor)
+            except (ValueError, binascii.Error, UnicodeDecodeError):
+                return self._v2_error(
+                    400, "invalid_cursor", f"malformed cursor {cursor!r}",
+                    trace_id)
+        documents = self.service.documents()
+        if status is not None:
+            documents = [doc for doc in documents if doc.get("status") == status]
+        # Newest first; the cursor pins (created, id) so pagination is
+        # stable under concurrent submissions.
+        documents.sort(
+            key=lambda doc: (doc.get("created") or 0.0, doc["id"]), reverse=True)
+        if after is not None:
+            documents = [
+                doc for doc in documents
+                if (doc.get("created") or 0.0, doc["id"]) < after
+            ]
+        page = documents[:limit]
+        next_cursor = _encode_cursor(page[-1]) if len(documents) > limit else None
+        return HTTPResponse.json(200, {
+            "runs": page,
+            "count": len(page),
+            "next_cursor": next_cursor,
+        })
 
-        service = self.server.service
+    async def _v2_submit(self, request: HTTPRequest, client: str,
+                         trace_id: str) -> HTTPResponse:
+        service = self.service
+        if request.body_issue == "chunked":
+            return self._v2_error(
+                400, "chunked_not_supported",
+                "chunked transfer encoding is not supported; "
+                "send Content-Length", trace_id, close=True)
+        if request.body_issue == "bad_length":
+            return self._v2_error(
+                400, "bad_content_length", "invalid Content-Length",
+                trace_id, close=True)
+        if request.body_issue == "too_large":
+            return self._v2_error(
+                413, "body_too_large",
+                f"request body of {request.declared_length} bytes exceeds "
+                f"{self.max_body_bytes} bytes", trace_id, close=True)
+        if not request.body:
+            return self._v2_error(
+                400, "empty_body", "request body required", trace_id)
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return self._v2_error(
+                400, "invalid_json", f"invalid JSON body: {error}", trace_id)
         try:
             job = service.submit_payload(
-                payload, trace_id=self.headers.get("X-Trace-Id"))
+                payload, trace_id=request.header("x-trace-id"), client=client)
         except ProtocolError as error:
-            self._error(400, str(error))
-            return
+            return self._v2_error(400, error.code, str(error), trace_id)
         except QueueFullError as error:
-            self._error(503, str(error), headers={"Retry-After": "1"})
-            return
+            return self._v2_error(
+                503, "queue_full", str(error), trace_id, retry_after=1.0)
+        except RateLimitedError as error:
+            return self._v2_error(
+                429, error.code, str(error), trace_id,
+                retry_after=error.retry_after)
         except ServiceClosedError as error:
-            self._error(503, str(error))
-            return
+            draining = service.draining
+            return self._v2_error(
+                503, "draining" if draining else "closed", str(error),
+                trace_id, close=draining)
 
-        query = self._query()
-        location = {"Location": f"/v1/runs/{job.id}", "X-Trace-Id": job.trace_id}
-        if query.get("wait", "").lower() in _TRUTHY:
-            try:
-                timeout = float(query.get("timeout", DEFAULT_WAIT_TIMEOUT))
-            except ValueError:
-                timeout = DEFAULT_WAIT_TIMEOUT
-            timeout = max(0.0, min(timeout, MAX_WAIT_TIMEOUT))
-            document = service.wait(job.id, timeout=timeout)
+        location = {"Location": f"/v2/runs/{job.id}", "X-Trace-Id": job.trace_id}
+        wait, timeout = self._wait_params(request)
+        if wait:
+            document = await self._await_job(job.id, timeout)
             finished = document["status"] in TERMINAL_STATUSES
-            self._reply(200 if finished else 202, document, location)
-        else:
-            self._reply(202, job.to_dict(), location)
+            return HTTPResponse.json(200 if finished else 202, document, location)
+        return HTTPResponse.json(202, job.to_dict(), location)
 
 
 def make_server(
@@ -240,9 +564,14 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
+    auth: TokenAuth | None = None,
+    header_timeout: float | None = None,
+    body_timeout: float | None = None,
 ) -> ServiceHTTPServer:
     """Bind (but do not run) the HTTP server; ``port=0`` picks a free port."""
-    return ServiceHTTPServer((host, port), service, quiet=quiet)
+    return ServiceHTTPServer(
+        service, host, port, quiet=quiet, auth=auth,
+        header_timeout=header_timeout, body_timeout=body_timeout)
 
 
 def serve(
@@ -250,9 +579,10 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8321,
     quiet: bool = True,
+    auth: TokenAuth | None = None,
 ) -> None:
     """Run the service until interrupted, then shut down cleanly."""
-    server = make_server(service, host, port, quiet=quiet)
+    server = make_server(service, host, port, quiet=quiet, auth=auth)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

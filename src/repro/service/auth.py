@@ -1,0 +1,135 @@
+"""Token authentication for the HTTP front end.
+
+The service authenticates with static bearer tokens, each mapped to a
+*client identity* that quota accounting and the per-client sections of
+``/v2/stats`` key on.  Tokens come from two places (merged; the file
+wins on conflicts):
+
+* ``REPRO_SERVICE_TOKENS`` — comma-separated ``client=token`` pairs
+  (a bare ``token`` gets a derived ``token-<hash>`` identity),
+* ``repro serve --token-file FILE`` — one entry per line, same syntax,
+  ``#`` comments and blank lines ignored.
+
+Policy: when tokens are configured, any request may authenticate with
+``Authorization: Bearer <token>`` — comparison is constant-time
+(:func:`hmac.compare_digest`), and presenting an *invalid* token is
+always a 401, even from loopback.  Requests without a token are only
+admitted from loopback peers (identity ``loopback``); everyone else
+gets 401.  ``repro serve`` refuses to bind a non-loopback address with
+no tokens configured, so an open-to-the-network deployment cannot be
+created by accident.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import ipaddress
+import os
+
+__all__ = [
+    "ANONYMOUS_CLIENT",
+    "AuthError",
+    "ENV_TOKENS",
+    "LOOPBACK_CLIENT",
+    "TokenAuth",
+    "is_loopback_host",
+]
+
+ENV_TOKENS = "REPRO_SERVICE_TOKENS"
+
+#: Identity of unauthenticated loopback peers (the local-dev exemption).
+LOOPBACK_CLIENT = "loopback"
+#: Identity used when no authenticator is configured at all.
+ANONYMOUS_CLIENT = "anonymous"
+
+
+class AuthError(RuntimeError):
+    """Authentication failed (maps to HTTP 401)."""
+
+
+def is_loopback_host(host: str) -> bool:
+    """True for addresses that only loopback peers can connect from."""
+    if host in ("localhost", ""):
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False
+
+
+def _parse_entry(entry: str, where: str) -> tuple[str, str]:
+    """``client=token`` (or bare ``token``) → ``(client, token)``."""
+    entry = entry.strip()
+    client, sep, token = entry.partition("=")
+    if not sep:
+        token = entry
+        client = f"token-{hashlib.sha256(token.encode('utf-8')).hexdigest()[:8]}"
+    client, token = client.strip(), token.strip()
+    if not token or not client:
+        raise ValueError(f"{where}: malformed token entry {entry!r} (expected client=token)")
+    return client, token
+
+
+class TokenAuth:
+    """Static bearer tokens mapped to client identities."""
+
+    def __init__(self, tokens: dict[str, str], allow_loopback: bool = True) -> None:
+        """``tokens`` maps *token* -> *client identity*."""
+        if not tokens:
+            raise ValueError("TokenAuth needs at least one token")
+        self._tokens = dict(tokens)
+        self.allow_loopback = allow_loopback
+
+    @classmethod
+    def from_sources(
+        cls,
+        env_value: str | None = None,
+        token_file: str | None = None,
+        allow_loopback: bool = True,
+    ) -> "TokenAuth | None":
+        """Build from the environment and/or a token file; ``None`` if neither
+        yields a token (auth disabled)."""
+        if env_value is None:
+            env_value = os.environ.get(ENV_TOKENS)
+        tokens: dict[str, str] = {}
+        if env_value:
+            for entry in env_value.split(","):
+                if entry.strip():
+                    client, token = _parse_entry(entry, ENV_TOKENS)
+                    tokens[token] = client
+        if token_file:
+            with open(token_file, "r", encoding="utf-8") as handle:
+                for number, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    client, token = _parse_entry(line, f"{token_file}:{number}")
+                    tokens[token] = client
+        if not tokens:
+            return None
+        return cls(tokens, allow_loopback=allow_loopback)
+
+    @property
+    def clients(self) -> list[str]:
+        return sorted(set(self._tokens.values()))
+
+    def identify(self, token: str | None, peer_host: str | None) -> str:
+        """Resolve a request to a client identity or raise :class:`AuthError`.
+
+        ``token`` is the bearer credential (``None`` when absent);
+        ``peer_host`` the connecting address.  Every configured token is
+        compared in constant time, match or not, so timing never leaks
+        which prefix of a token was right.
+        """
+        if token is not None:
+            found: str | None = None
+            for candidate, client in self._tokens.items():
+                if hmac.compare_digest(candidate.encode("utf-8"), token.encode("utf-8")):
+                    found = client
+            if found is None:
+                raise AuthError("invalid token")
+            return found
+        if self.allow_loopback and peer_host is not None and is_loopback_host(peer_host):
+            return LOOPBACK_CLIENT
+        raise AuthError("authentication required: send 'Authorization: Bearer <token>'")

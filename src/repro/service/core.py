@@ -1,25 +1,33 @@
-"""The service core: a bounded job queue draining into a warm runner.
+"""The service core: bounded job queues draining into warm runners.
 
 :class:`SimulationService` is transport-agnostic — the HTTP app, the
 tests and the benchmarks all drive this same object:
 
 * :meth:`~SimulationService.submit` validates and enqueues a job
   (raising :class:`QueueFullError` when the bounded queue is at
-  capacity — callers map that to HTTP 503),
-* one dispatcher thread pops jobs in FIFO order and executes each as a
-  single :meth:`~repro.api.runner.Runner.run_batch` call on a runner in
-  persistent mode, so every job after the first hits warm worker
-  processes with cached predictor instances,
+  capacity — callers map that to HTTP 503 — and
+  :class:`~repro.service.quota.RateLimitedError` when the submitting
+  client is over its quota — HTTP 429),
+* dispatcher threads pop jobs in FIFO order per **lane** and execute
+  each as a single :meth:`~repro.api.runner.Runner.run_batch` call on a
+  runner in persistent mode, so every job after the first hits warm
+  worker processes with cached predictor instances,
 * terminal job documents move into the pluggable result store;
   :meth:`~SimulationService.job` serves live and stored jobs through one
   lookup,
 * :meth:`~SimulationService.stats` reports queue depth, job counters,
-  dispatcher utilization, warm-pool and result-cache hit rates — the
-  numbers an operator needs to size the pool.
+  per-lane dispatcher utilization, warm-pool and result-cache hit rates
+  — the numbers an operator needs to size the pool.
 
-Jobs within one submission share the scheduler's dedup; jobs are
-*serialized* with respect to each other (the parallelism lives in the
-worker pool, not in concurrent batches), which keeps results
+**Priority lanes** (``small_job_branches=...``): jobs whose estimated
+branch count (:func:`~repro.service.protocol.estimate_branches`) is at
+or under the threshold route to an ``interactive`` lane with its own
+queue, dispatcher thread and runner, so a fig10-sized batch grinding in
+the ``batch`` lane cannot head-of-line-block a quick interactive
+simulation.  With lanes off (the default) a single ``default`` lane
+preserves the strict global FIFO the tests rely on.  Jobs within one
+lane are serialized with respect to each other (the parallelism lives
+in the worker pool, not in concurrent batches), which keeps results
 deterministic however many clients submit concurrently.
 
 **Broker-dispatch mode** (``broker=...``, selected by ``repro serve
@@ -33,6 +41,12 @@ dead-lettered (the job fails with the broker's last error).  Jobs run
 also reaps expired leases, so progress survives every worker dying.
 Default single-process behavior is completely unchanged when no broker
 is given.
+
+**Graceful drain** (:meth:`~SimulationService.drain`): stop accepting,
+let running jobs finish, persist still-queued jobs to the store (local
+mode) or leave them with the broker (fleet mode) as ``status:
+"queued"`` marker documents, then release resources.  A restarted
+service calls :meth:`~SimulationService.recover` to re-adopt them.
 """
 
 from __future__ import annotations
@@ -41,13 +55,14 @@ import logging
 import queue
 import threading
 import time
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.api.request import RunRequest
 from repro.api.results import suite_payload
 from repro.api.runner import Runner
 from repro.obs import bind_trace_id, ensure_trace_id, get_logger, get_metrics, log_event
-from repro.service.protocol import Job, JobStatus, parse_submission
+from repro.service.protocol import Job, JobStatus, estimate_branches, parse_submission
+from repro.service.quota import ClientQuota
 from repro.service.store import MemoryResultStore, ResultStore
 
 _LOG = get_logger("service")
@@ -59,6 +74,12 @@ def _job_counter():
         "Jobs that reached a terminal state, by status.", ("status",))
 
 
+def _lane_counter():
+    return get_metrics().counter(
+        "repro_service_lane_jobs_total",
+        "Jobs dispatched, by lane.", ("lane",))
+
+
 def _obs_errors():
     return get_metrics().counter(
         "repro_obs_errors_total",
@@ -68,6 +89,7 @@ def _obs_errors():
 __all__ = [
     "CancelConflictError",
     "DEFAULT_QUEUE_SIZE",
+    "DEFAULT_SMALL_JOB_BRANCHES",
     "QueueFullError",
     "ServiceClosedError",
     "SimulationService",
@@ -77,6 +99,12 @@ __all__ = [
 DEFAULT_QUEUE_SIZE = 64
 #: Bound of the default in-memory result store.
 DEFAULT_STORE_ENTRIES = 4096
+
+#: Default interactive-lane threshold for ``repro serve --lanes``: a
+#: gshare run over a 200k-branch synthetic trace takes well under a
+#: second on the vector kernels, while fig10-sized batches are ~2M
+#: branches — an order of magnitude above the cut.
+DEFAULT_SMALL_JOB_BRANCHES = 200_000
 
 #: How often the idle dispatcher re-checks the stop signal, seconds.
 _DRAIN_POLL_SECONDS = 0.1
@@ -105,18 +133,36 @@ class CancelConflictError(RuntimeError):
 
 
 class ServiceClosedError(RuntimeError):
-    """The service no longer accepts submissions."""
+    """The service no longer accepts submissions (closed or draining)."""
+
+
+class _Lane:
+    """One dispatch lane: a FIFO queue, a dispatcher thread, a runner."""
+
+    def __init__(self, name: str, runner: Runner | None) -> None:
+        self.name = name
+        self.runner = runner  # None in broker mode: lanes publish, not execute
+        # Unbounded on purpose: the back-pressure bound is enforced in
+        # submit() by counting live QUEUED jobs, so a cancelled job frees
+        # its capacity immediately even though its tombstone stays in the
+        # channel until the dispatcher pops (and skips) it.
+        self.queue: "queue.Queue[Job]" = queue.Queue()
+        self.thread: threading.Thread | None = None
+        self.executed = 0
+        self.busy_seconds = 0.0
+        self.busy_since: float | None = None
 
 
 class SimulationService:
-    """Queue + dispatcher + warm runner + result store, as one object.
+    """Queues + dispatchers + warm runners + result store, as one object.
 
     Parameters
     ----------
     runner:
-        The executing :class:`Runner`; defaults to an env-configured
-        runner in persistent mode.  The service owns the runner it is
-        given and closes it on :meth:`close`.
+        The executing :class:`Runner` (the ``batch``/``default`` lane);
+        defaults to an env-configured runner in persistent mode.  The
+        service owns the runner it is given and closes it on
+        :meth:`close`.
     store:
         Terminal job documents; defaults to a :class:`MemoryResultStore`
         bounded to :data:`DEFAULT_STORE_ENTRIES` documents (oldest
@@ -124,8 +170,8 @@ class SimulationService:
         bound.  Pass an unbounded or disk-backed store explicitly to
         keep more.
     queue_size:
-        Bound of the pending-job queue (back-pressure, not buffering:
-        a full queue rejects rather than grows).
+        Bound of the pending-job queue across all lanes (back-pressure,
+        not buffering: a full queue rejects rather than grows).
     broker:
         A :class:`~repro.distrib.broker.Broker` selects broker-dispatch
         mode: jobs are published to the fleet instead of executed on a
@@ -134,6 +180,19 @@ class SimulationService:
         no local runner is created unless one is passed explicitly.
     broker_poll:
         Watcher poll interval in broker mode, seconds.
+    small_job_branches:
+        Enables priority lanes: submissions estimated at or under this
+        many simulated branches route to the ``interactive`` lane,
+        larger ones to ``batch``.  ``None`` (default) keeps the single
+        ``default`` lane.
+    interactive_runner:
+        The interactive lane's runner; defaults to a second
+        env-configured persistent runner when lanes are enabled in
+        local mode.  Also owned and closed by the service.
+    quota:
+        A :class:`~repro.service.quota.ClientQuota` enforcing per-client
+        rate limits and live-job caps at :meth:`submit`; ``None``
+        disables quota checks.
     """
 
     def __init__(
@@ -143,9 +202,16 @@ class SimulationService:
         queue_size: int = DEFAULT_QUEUE_SIZE,
         broker=None,
         broker_poll: float = DEFAULT_BROKER_POLL_SECONDS,
+        small_job_branches: int | None = None,
+        interactive_runner: Runner | None = None,
+        quota: ClientQuota | None = None,
     ) -> None:
         if queue_size < 1:
             raise ValueError(f"queue_size must be at least 1, got {queue_size}")
+        if small_job_branches is not None and small_job_branches < 1:
+            raise ValueError(
+                f"small_job_branches must be at least 1, got {small_job_branches}"
+            )
         self.broker = broker
         self.broker_poll = broker_poll
         if runner is not None:
@@ -160,26 +226,33 @@ class SimulationService:
             store if store is not None else MemoryResultStore(max_entries=DEFAULT_STORE_ENTRIES)
         )
         self.queue_size = queue_size
-        # Unbounded on purpose: the back-pressure bound is enforced in
-        # submit() by counting live QUEUED jobs, so a cancelled job frees
-        # its capacity immediately even though its tombstone stays in the
-        # channel until the dispatcher pops (and skips) it.
-        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self.quota = quota
+        self.small_job_branches = small_job_branches
+        if small_job_branches is None:
+            self.interactive_runner = None
+            self._lanes = {"default": _Lane("default", self.runner)}
+        else:
+            if interactive_runner is None and broker is None:
+                interactive_runner = Runner.from_env(persistent=True)
+            self.interactive_runner = interactive_runner
+            self._lanes = {
+                "interactive": _Lane("interactive", interactive_runner),
+                "batch": _Lane("batch", self.runner),
+            }
         self._live: dict[str, Job] = {}
         #: Jobs published to the broker and not yet terminal (broker mode).
         self._remote: dict[str, Job] = {}
         self._lock = threading.Lock()
-        self._dispatcher: threading.Thread | None = None
         self._watcher: threading.Thread | None = None
         self._stop = threading.Event()
         self._closed = False
+        self._draining = False
         self._started_at = time.time()
-        self._busy_seconds = 0.0
-        self._busy_since: float | None = None
         self.submitted = 0
         self.completed = 0
         self.failed = 0
         self.cancelled = 0
+        self.recovered = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -189,11 +262,13 @@ class SimulationService:
         """Start the dispatcher (and, in broker mode, watcher) threads."""
         if self._closed:
             raise ServiceClosedError("service is closed")
-        if self._dispatcher is None:
-            self._dispatcher = threading.Thread(
-                target=self._drain, name="repro-service-dispatcher", daemon=True
-            )
-            self._dispatcher.start()
+        for lane in self._lanes.values():
+            if lane.thread is None:
+                lane.thread = threading.Thread(
+                    target=self._drain_lane, args=(lane,),
+                    name=f"repro-service-dispatcher-{lane.name}", daemon=True,
+                )
+                lane.thread.start()
         if self.broker is not None and self._watcher is None:
             self._watcher = threading.Thread(
                 target=self._watch, name="repro-service-broker-watcher", daemon=True
@@ -206,9 +281,9 @@ class SimulationService:
 
         Already-queued jobs still execute; new submissions are rejected.
         ``close`` itself never blocks on the queue — it signals a stop
-        event and waits up to ``timeout`` for the drain.  If the
+        event and waits up to ``timeout`` for the drain.  If a
         dispatcher outlives the timeout (a long job mid-flight), it
-        closes the runner itself on exit, so worker processes are never
+        closes its runner itself on exit, so worker processes are never
         leaked either way.  In broker mode the watcher keeps following
         already-published jobs until they finish (the graceful-drain
         contract: leases are completed, not abandoned) or the timeout
@@ -220,15 +295,17 @@ class SimulationService:
             self._closed = True
         self._stop.set()
         deadline = None if timeout is None else time.time() + timeout
-        dispatcher = self._dispatcher
-        if dispatcher is not None:
-            dispatcher.join(timeout=timeout)
+        for lane in self._lanes.values():
+            if lane.thread is not None:
+                remaining = None if deadline is None else max(deadline - time.time(), 0.0)
+                lane.thread.join(timeout=remaining)
         watcher = self._watcher
         if watcher is not None:
             remaining = None if deadline is None else max(deadline - time.time(), 0.0)
             watcher.join(timeout=remaining)
-        if self.runner is not None and (dispatcher is None or not dispatcher.is_alive()):
-            self.runner.close()
+        for lane in self._lanes.values():
+            if lane.runner is not None and (lane.thread is None or not lane.thread.is_alive()):
+                lane.runner.close()
         if self.broker is not None and (watcher is None or not watcher.is_alive()):
             self.broker.close()
 
@@ -239,24 +316,160 @@ class SimulationService:
         self.close()
 
     # ------------------------------------------------------------------
+    # Graceful drain and recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop accepting submissions; running jobs keep executing."""
+        with self._lock:
+            self._draining = True
+
+    def drain(self, timeout: float | None = 30.0) -> int:
+        """Gracefully wind down; returns the number of jobs parked.
+
+        Stops accepting, *parks* still-queued jobs (persists their
+        ``status: "queued"`` documents to the store so
+        :meth:`recover` on the next process re-adopts them), lets
+        running jobs finish, then closes.  In broker mode queued jobs
+        are first handed to the broker (the fleet is the durable queue)
+        and a queued marker is stored for each published job so a
+        restarted front end re-adopts the watch.
+        """
+        self.begin_drain()
+        parked = 0
+        if self.broker is None:
+            for lane in self._lanes.values():
+                with lane.queue.mutex:
+                    pending = list(lane.queue.queue)
+                    lane.queue.queue.clear()
+                for job in pending:
+                    with self._lock:
+                        if job.status is not JobStatus.QUEUED:
+                            continue  # a cancel tombstone; already stored
+                    self.store.put(job.id, job.to_dict())
+                    with self._lock:
+                        self._live.pop(job.id, None)
+                    log_event(_LOG, logging.INFO, "job parked for restart",
+                              trace_id=job.trace_id, job=job.id)
+                    job.mark_done()
+                    parked += 1
+        else:
+            # Let the dispatchers hand everything queued to the broker —
+            # publishing is quick — then mark what the fleet now owns.
+            deadline = time.time() + min(timeout if timeout is not None else 5.0, 5.0)
+            while time.time() < deadline:
+                with self._lock:
+                    unpublished = any(
+                        job.status is JobStatus.QUEUED and job.id not in self._remote
+                        for job in self._live.values()
+                    )
+                if not unpublished:
+                    break
+                time.sleep(0.05)
+            with self._lock:
+                remote = list(self._remote.values())
+                self._remote.clear()  # the watcher stops following; exit fast
+            for job in remote:
+                # put_new: never clobber a result another front end (or
+                # our own watcher, racing) already finalized.
+                self.store.put_new(job.id, job.to_dict())
+                parked += 1
+        if parked:
+            log_event(_LOG, logging.INFO, "drain parked queued jobs", parked=parked)
+        self.close(timeout=timeout)
+        return parked
+
+    def recover(self) -> int:
+        """Re-adopt jobs a drained predecessor parked in the store.
+
+        Scans the store for ``status == "queued"`` documents and
+        re-enqueues them (re-publishing to the broker when the fleet no
+        longer knows the job).  Returns the number adopted.  Recovered
+        jobs bypass the queue bound — they were admitted once already.
+        """
+        adopted = 0
+        for document in self.store.documents():
+            if document.get("status") != "queued":
+                continue
+            try:
+                requests = [RunRequest.from_dict(entry) for entry in document["requests"]]
+                job = Job(
+                    requests=requests,
+                    batch=bool(document.get("batch", True)),
+                    id=document["id"],
+                    created=float(document.get("created") or time.time()),
+                    trace_id=ensure_trace_id(document.get("trace_id")),
+                )
+            except Exception as error:  # noqa: BLE001 - a corrupt marker must not block startup
+                log_event(_LOG, logging.WARNING, "unrecoverable parked job",
+                          job=document.get("id"), error=repr(error))
+                continue
+            job.lane = self._classify(job.requests)
+            with self._lock:
+                if self._closed or self._draining:
+                    break
+                if job.id in self._live:
+                    continue
+                self._live[job.id] = job
+                self.submitted += 1
+                self.recovered += 1
+            if self.broker is not None:
+                try:
+                    self.broker.snapshot(job.id)
+                except KeyError:
+                    self._lanes[job.lane].queue.put_nowait(job)  # republish
+                except Exception:  # noqa: BLE001 - transient broker IO: republish
+                    self._lanes[job.lane].queue.put_nowait(job)
+                else:
+                    with self._lock:
+                        self._remote[job.id] = job  # the fleet still owns it
+            else:
+                self._lanes[job.lane].queue.put_nowait(job)
+            log_event(_LOG, logging.INFO, "parked job recovered",
+                      trace_id=job.trace_id, job=job.id, lane=job.lane)
+            adopted += 1
+        return adopted
+
+    # ------------------------------------------------------------------
     # Submission and lookup
     # ------------------------------------------------------------------
 
+    def _classify(self, requests: Sequence[RunRequest]) -> str:
+        if self.small_job_branches is None:
+            return "default"
+        try:
+            branches = estimate_branches(requests)
+        except Exception:  # noqa: BLE001 - unknown scheme params: assume big
+            return "batch"
+        return "interactive" if branches <= self.small_job_branches else "batch"
+
     def submit(self, requests: Sequence[RunRequest], batch: bool = True,
-               trace_id: str | None = None) -> Job:
+               trace_id: str | None = None, client: str | None = None) -> Job:
         """Enqueue already-validated requests as one job.
 
         ``trace_id`` adopts a caller-minted id (the ``X-Trace-Id``
         header / ``--trace-id`` flag); invalid or absent ids are
-        replaced by a fresh one, never rejected.
+        replaced by a fresh one, never rejected.  ``client`` is the
+        authenticated client identity quota accounting keys on; the
+        quota (when configured) may raise
+        :class:`~repro.service.quota.RateLimitedError`.
         """
         job = Job(requests=list(requests), batch=batch,
                   trace_id=ensure_trace_id(trace_id))
         if not job.requests:
             raise ValueError("a job needs at least one request")
+        job.client = client
+        job.lane = self._classify(job.requests)
+        lane = self._lanes[job.lane]
         with self._lock:
-            if self._closed:
-                raise ServiceClosedError("service is closed")
+            if self._closed or self._draining:
+                raise ServiceClosedError(
+                    "service is draining" if self._draining else "service is closed"
+                )
             depth = sum(
                 1 for live in self._live.values() if live.status is JobStatus.QUEUED
             )
@@ -264,7 +477,14 @@ class SimulationService:
                 raise QueueFullError(
                     f"job queue is full ({depth} pending jobs); retry later"
                 )
-            self._queue.put_nowait(job)
+            if self.quota is not None and self.quota.policy.enforced:
+                live_jobs = sum(
+                    1 for live in self._live.values() if live.client == client
+                )
+                # Raises RateLimitedError; nothing enqueued, no state to
+                # unwind (the quota lock nests inside the service lock).
+                self.quota.admit(client or "anonymous", live_jobs)
+            lane.queue.put_nowait(job)
             self._live[job.id] = job
             self.submitted += 1
             depth += 1
@@ -274,15 +494,17 @@ class SimulationService:
         registry.gauge(
             "repro_service_queue_depth",
             "Jobs currently queued (bounded by queue capacity).").set(depth)
+        _lane_counter().inc(lane=job.lane)
         log_event(_LOG, logging.INFO, "job queued",
-                  trace_id=job.trace_id, job=job.id,
-                  requests=len(job.requests), queue_depth=depth)
+                  trace_id=job.trace_id, job=job.id, lane=job.lane,
+                  client=client, requests=len(job.requests), queue_depth=depth)
         return job
 
-    def submit_payload(self, payload: Any, trace_id: str | None = None) -> Job:
+    def submit_payload(self, payload: Any, trace_id: str | None = None,
+                       client: str | None = None) -> Job:
         """Parse a wire submission (object or list) and enqueue it."""
         requests, batch = parse_submission(payload)
-        return self.submit(requests, batch=batch, trace_id=trace_id)
+        return self.submit(requests, batch=batch, trace_id=trace_id, client=client)
 
     def job(self, job_id: str) -> dict[str, Any]:
         """The job document, live or stored; raises :class:`UnknownJobError`."""
@@ -294,6 +516,36 @@ class SimulationService:
         if document is None:
             raise UnknownJobError(job_id)
         return document
+
+    def documents(self) -> list[dict[str, Any]]:
+        """Every known job document, live jobs shadowing stored copies.
+
+        The ``/v2/runs`` listing sorts and paginates this snapshot.
+        """
+        with self._lock:
+            merged = {job.id: job.to_dict() for job in self._live.values()}
+        for document in self.store.documents():
+            job_id = document.get("id")
+            if job_id and job_id not in merged:
+                merged[job_id] = document
+        return list(merged.values())
+
+    def subscribe(self, job_id: str, callback: Callable[[], None]) -> bool:
+        """Register ``callback`` to fire when a live job turns terminal.
+
+        Returns ``False`` when the job is not live (already terminal,
+        stored, or unknown) — the caller should read the document
+        instead of waiting.  Appending happens under the service lock:
+        every terminal path pops the job from the live table under the
+        same lock *before* firing callbacks, so a subscription either
+        lands before the pop (and fires) or observes not-live here.
+        """
+        with self._lock:
+            job = self._live.get(job_id)
+            if job is None:
+                return False
+            job.done_callbacks.append(callback)
+            return True
 
     def cancel(self, job_id: str) -> dict[str, Any]:
         """Cancel a *queued* job; returns its terminal document.
@@ -350,9 +602,10 @@ class SimulationService:
         # the (unbounded) channel without limit.  If the dispatcher
         # already popped the job, remove() misses and the status check in
         # _execute is the race guard.
-        with self._queue.mutex:
+        lane_queue = self._lanes[job.lane].queue
+        with lane_queue.mutex:
             try:
-                self._queue.queue.remove(job)
+                lane_queue.queue.remove(job)
             except ValueError:
                 pass
         # Store before unlisting so job() never sees a gap (same protocol
@@ -360,7 +613,7 @@ class SimulationService:
         self.store.put(job.id, job.to_dict())
         with self._lock:
             self._live.pop(job.id, None)
-        job.done_event.set()
+        job.mark_done()
         return job.to_dict()
 
     def wait(self, job_id: str, timeout: float | None = None) -> dict[str, Any]:
@@ -379,26 +632,58 @@ class SimulationService:
     # Introspection
     # ------------------------------------------------------------------
 
+    def _dispatchers_running(self) -> bool:
+        threads = [lane.thread for lane in self._lanes.values()]
+        return all(thread is not None and thread.is_alive() for thread in threads)
+
+    @property
+    def lanes(self) -> tuple[str, ...]:
+        return tuple(self._lanes)
+
     def health(self) -> dict[str, Any]:
-        """Cheap liveness fields (no filesystem access; see ``/v1/healthz``)."""
+        """Cheap liveness fields (no filesystem access; see ``/v1/healthz``).
+
+        Deliberately the v1 shape — ``/v1/healthz`` bodies are frozen by
+        the deprecation shim; v2 adds its extra fields itself.
+        """
         return {
             "uptime_seconds": time.time() - self._started_at,
-            "dispatcher_running": self._dispatcher is not None and self._dispatcher.is_alive(),
+            "dispatcher_running": self._dispatchers_running(),
             "mode": "broker" if self.broker is not None else "local",
         }
 
     def stats(self) -> dict[str, Any]:
-        """Operator metrics: queue, jobs, dispatcher, pool, caches."""
+        """Operator metrics: queue, jobs, lanes, dispatchers, pool, caches."""
         now = time.time()
         with self._lock:
             live = list(self._live.values())
             submitted, completed, failed = self.submitted, self.completed, self.failed
             cancelled = self.cancelled
-            busy = self._busy_seconds
-            busy_since = self._busy_since
-        if busy_since is not None:
-            busy += now - busy_since
+            lane_rows = {
+                lane.name: (lane.executed, lane.busy_seconds, lane.busy_since)
+                for lane in self._lanes.values()
+            }
         uptime = max(now - self._started_at, 1e-9)
+        busy_total = 0.0
+        any_busy = False
+        lanes: dict[str, Any] = {}
+        for name, (executed, busy, busy_since) in lane_rows.items():
+            if busy_since is not None:
+                busy += now - busy_since
+                any_busy = True
+            busy_total += busy
+            lanes[name] = {
+                "depth": sum(
+                    1 for job in live
+                    if job.lane == name and job.status is JobStatus.QUEUED
+                ),
+                "running": sum(
+                    1 for job in live
+                    if job.lane == name and job.status is JobStatus.RUNNING
+                ),
+                "executed": executed,
+                "utilization": min(busy / uptime, 1.0),
+            }
         pool = self.runner.pool if self.runner is not None else None
         cache = self.runner.cache if self.runner is not None else None
         cache_stats = None
@@ -415,6 +700,7 @@ class SimulationService:
         return {
             "uptime_seconds": now - self._started_at,
             "mode": "broker" if self.broker is not None else "local",
+            "draining": self._draining,
             "queue": {
                 "depth": sum(1 for job in live if job.status is JobStatus.QUEUED),
                 "capacity": self.queue_size,
@@ -427,10 +713,15 @@ class SimulationService:
                 "running": sum(1 for job in live if job.status is JobStatus.RUNNING),
             },
             "dispatcher": {
-                "running": self._dispatcher is not None and self._dispatcher.is_alive(),
-                "busy": busy_since is not None,
-                "utilization": min(busy / uptime, 1.0),
+                "running": self._dispatchers_running(),
+                "busy": any_busy,
+                "utilization": min(busy_total / (uptime * max(len(lane_rows), 1)), 1.0),
             },
+            "lanes": {
+                "threshold_branches": self.small_job_branches,
+                "by_lane": lanes,
+            },
+            "clients": self.quota.stats() if self.quota is not None else None,
             "pool": pool.stats() if pool is not None else None,
             "result_cache": cache_stats,
             "store": self.store.stats(),
@@ -440,11 +731,11 @@ class SimulationService:
     def metrics_text(self) -> str:
         """The Prometheus exposition served by ``GET /v1/metrics``.
 
-        Scrape-time gauges (queue depth, running jobs, fleet liveness)
-        are refreshed here; in broker mode the latest per-worker metric
-        snapshots shipped over heartbeats are folded in, so one scrape
-        of the front end covers runner/cache/pool series from the whole
-        fleet.
+        Scrape-time gauges (queue depth, running jobs, lane depths,
+        fleet liveness) are refreshed here; in broker mode the latest
+        per-worker metric snapshots shipped over heartbeats are folded
+        in, so one scrape of the front end covers runner/cache/pool
+        series from the whole fleet.
         """
         registry = get_metrics()
         with self._lock:
@@ -456,6 +747,14 @@ class SimulationService:
         registry.gauge(
             "repro_service_running_jobs", "Jobs currently executing.",
         ).set(sum(1 for job in live if job.status is JobStatus.RUNNING))
+        lane_depth = registry.gauge(
+            "repro_service_lane_depth", "Queued jobs per dispatcher lane.", ("lane",))
+        for name in self._lanes:
+            lane_depth.set(
+                sum(1 for job in live
+                    if job.lane == name and job.status is JobStatus.QUEUED),
+                lane=name,
+            )
         extra: list[dict] = []
         if self.broker is not None:
             try:
@@ -480,11 +779,11 @@ class SimulationService:
     # Dispatcher
     # ------------------------------------------------------------------
 
-    def _drain(self) -> None:
+    def _drain_lane(self, lane: _Lane) -> None:
         try:
             while True:
                 try:
-                    job = self._queue.get(timeout=_DRAIN_POLL_SECONDS)
+                    job = lane.queue.get(timeout=_DRAIN_POLL_SECONDS)
                 except queue.Empty:
                     if self._stop.is_set():
                         return
@@ -492,31 +791,31 @@ class SimulationService:
                 if self.broker is not None:
                     self._publish(job)
                 else:
-                    self._execute(job)
+                    self._execute(job, lane)
         finally:
-            if self._stop.is_set() and self.runner is not None:
+            if self._stop.is_set() and lane.runner is not None:
                 # close() may already have returned (join timeout expired
                 # mid-job): last one out shuts the pool.  Runner.close is
                 # idempotent, so racing close() here is harmless.
-                self.runner.close()
+                lane.runner.close()
 
-    def _execute(self, job: Job) -> None:
+    def _execute(self, job: Job, lane: _Lane) -> None:
         registry = get_metrics()
         with self._lock:
             if job.status is not JobStatus.QUEUED:
                 return  # cancelled while queued: the tombstone is skipped
             job.status = JobStatus.RUNNING
             job.started = time.time()
-            self._busy_since = job.started
+            lane.busy_since = job.started
         registry.histogram(
             "repro_service_queue_wait_seconds",
             "Time a job spent queued before execution started.",
         ).observe(job.started - job.created)
         with bind_trace_id(job.trace_id):
             log_event(_LOG, logging.INFO, "job started", job=job.id,
-                      requests=len(job.requests))
+                      lane=lane.name, requests=len(job.requests))
             try:
-                results = self.runner.run_batch(job.requests)
+                results = lane.runner.run_batch(job.requests)
                 job.results = [
                     suite_payload(request, result)
                     for request, result in zip(job.requests, results)
@@ -534,8 +833,9 @@ class SimulationService:
                 log_event(_LOG, logging.WARNING, "job failed", job=job.id,
                           error=job.error)
         with self._lock:
-            self._busy_seconds += job.finished - (self._busy_since or job.finished)
-            self._busy_since = None
+            lane.busy_seconds += job.finished - (lane.busy_since or job.finished)
+            lane.busy_since = None
+            lane.executed += 1
             if job.status is JobStatus.DONE:
                 self.completed += 1
             else:
@@ -549,7 +849,7 @@ class SimulationService:
         self.store.put(job.id, job.to_dict())
         with self._lock:
             self._live.pop(job.id, None)
-        job.done_event.set()
+        job.mark_done()
 
     # ------------------------------------------------------------------
     # Broker dispatch (publish + watch)
@@ -685,9 +985,14 @@ class SimulationService:
     def _finalize(self, job: Job) -> None:
         # Store before unlisting so job() never sees a gap (same protocol
         # as _execute's terminal hand-off).  put_new keeps the first copy
-        # when several front ends share one disk store.
-        self.store.put_new(job.id, job.to_dict())
+        # when several front ends share one disk store — unless the
+        # existing copy is a drain marker (status "queued"), which a real
+        # terminal document must replace.
+        if not self.store.put_new(job.id, job.to_dict()):
+            existing = self.store.get(job.id)
+            if existing is not None and existing.get("status") == "queued":
+                self.store.put(job.id, job.to_dict())
         with self._lock:
             self._live.pop(job.id, None)
             self._remote.pop(job.id, None)
-        job.done_event.set()
+        job.mark_done()

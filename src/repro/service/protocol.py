@@ -23,6 +23,7 @@ from typing import Any, Mapping, Sequence
 from repro.api.request import RunRequest, validate_shard_coverage
 from repro.obs import new_trace_id
 from repro.predictors.registry import available
+from repro.traces.refs import parse_trace_ref
 
 __all__ = [
     "Job",
@@ -30,6 +31,7 @@ __all__ = [
     "MAX_BATCH_REQUESTS",
     "ProtocolError",
     "TERMINAL_STATUSES",
+    "estimate_branches",
     "parse_submission",
 ]
 
@@ -41,7 +43,17 @@ _COUNTER = itertools.count(1)
 
 
 class ProtocolError(ValueError):
-    """A malformed submission (maps to HTTP 400)."""
+    """A malformed submission (maps to HTTP 400).
+
+    Carries a stable machine-readable ``code`` alongside the human
+    message: the v2 API's error envelope exposes the code, so clients
+    branch on ``invalid_request`` / ``unknown_predictor`` / … instead of
+    matching Python exception prose (which is not API).
+    """
+
+    def __init__(self, message: str, code: str = "invalid_request") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 class JobStatus(enum.Enum):
@@ -97,7 +109,31 @@ class Job:
     #: worker execution.  Minted at submission (or adopted from the
     #: client's ``X-Trace-Id`` header / ``--trace-id`` flag).
     trace_id: str = field(default_factory=new_trace_id)
+    #: Authenticated client identity (quota accounting) and the lane the
+    #: dispatcher routed the job to.  Deliberately NOT part of
+    #: :meth:`to_dict`: job documents stay byte-identical whether auth
+    #: and lanes are configured or not.
+    client: str | None = field(default=None, compare=False)
+    lane: str = field(default="default", compare=False)
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+    #: Completion callbacks (fired once, after the terminal state is
+    #: visible); the async front end bridges these onto its event loop.
+    #: Appended under the service lock — see ``SimulationService.subscribe``.
+    done_callbacks: list = field(default_factory=list, repr=False, compare=False)
+
+    def mark_done(self) -> None:
+        """Wake every waiter: the threading event and the subscribed callbacks.
+
+        Call sites guarantee the terminal state (and the store copy) are
+        already visible.  Callbacks must not raise; a failed bridge into
+        a dead event loop must not take the dispatcher thread with it.
+        """
+        self.done_event.set()
+        for callback in self.done_callbacks:
+            try:
+                callback()
+            except Exception:  # noqa: BLE001 - waiter bridges must not kill dispatch
+                pass
 
     def to_dict(self) -> dict[str, Any]:
         """The job document (JSON-pure, identical live and from a store)."""
@@ -133,10 +169,14 @@ def parse_submission(payload: Any) -> tuple[list[RunRequest], bool]:
     if isinstance(payload, Sequence) and not isinstance(payload, (str, bytes)):
         entries = list(payload)
         if not entries:
-            raise ProtocolError("batch submission must contain at least one request")
+            raise ProtocolError(
+                "batch submission must contain at least one request",
+                code="empty_batch",
+            )
         if len(entries) > MAX_BATCH_REQUESTS:
             raise ProtocolError(
-                f"batch of {len(entries)} requests exceeds the limit of {MAX_BATCH_REQUESTS}"
+                f"batch of {len(entries)} requests exceeds the limit of {MAX_BATCH_REQUESTS}",
+                code="batch_too_large",
             )
         batch = True
     elif isinstance(payload, Mapping):
@@ -145,7 +185,8 @@ def parse_submission(payload: Any) -> tuple[list[RunRequest], bool]:
     else:
         raise ProtocolError(
             f"submission must be a run request object or a list of them, "
-            f"got {type(payload).__name__}"
+            f"got {type(payload).__name__}",
+            code="invalid_submission",
         )
     requests = []
     kinds = None
@@ -155,13 +196,14 @@ def parse_submission(payload: Any) -> tuple[list[RunRequest], bool]:
             request = RunRequest.from_dict(entry)
         except (ValueError, KeyError, TypeError) as error:
             message = error.args[0] if error.args else error
-            raise ProtocolError(f"{where}: {message}") from None
+            raise ProtocolError(f"{where}: {message}", code="invalid_request") from None
         if kinds is None:
             kinds = set(available())
         if request.predictor.kind not in kinds:
             raise ProtocolError(
                 f"{where}: unknown predictor kind {request.predictor.kind!r}; "
-                f"registered kinds: {available()}"
+                f"registered kinds: {available()}",
+                code="unknown_predictor",
             )
         requests.append(request)
     try:
@@ -169,5 +211,16 @@ def parse_submission(payload: Any) -> tuple[list[RunRequest], bool]:
         # merge into a silently wrong sum — reject them at the door.
         validate_shard_coverage(requests)
     except ValueError as error:
-        raise ProtocolError(str(error)) from None
+        raise ProtocolError(str(error), code="shard_conflict") from None
     return requests, batch
+
+
+def estimate_branches(requests: Sequence[RunRequest]) -> int:
+    """Estimated total simulated branches across a job's requests.
+
+    Trace references carry their length as parameters, so the estimate
+    needs no trace resolution and is exact for every built-in scheme.
+    The service's priority lanes use it to keep interactive submissions
+    out of the shadow of fig10-sized batches.
+    """
+    return sum(parse_trace_ref(request.trace).branch_estimate for request in requests)

@@ -1,0 +1,143 @@
+"""Per-client rate limits and quotas for submissions.
+
+Two independent bounds, both keyed on the authenticated client identity
+(:mod:`repro.service.auth`; unauthenticated loopback peers share the
+``loopback`` identity):
+
+* a **token bucket** on submissions — ``burst`` tokens, refilled at
+  ``rate`` per second, one token per submit.  An empty bucket rejects
+  with the exact time until the next token, which the HTTP layer
+  serves as ``Retry-After``;
+* a **live-job cap** — at most ``max_client_jobs`` queued-or-running
+  jobs per client, so one client cannot occupy the whole service queue
+  however politely it paces its submits.
+
+Both reject with :class:`RateLimitedError` (HTTP 429).  A ``None``
+policy field disables that bound; :meth:`QuotaPolicy.unlimited` is the
+default for embedded services (tests, benchmarks), while ``repro
+serve`` wires flags/env knobs through.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ClientQuota", "QuotaPolicy", "RateLimitedError"]
+
+
+class RateLimitedError(RuntimeError):
+    """A client exceeded its submit rate or live-job quota (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after: float, code: str = "rate_limited") -> None:
+        super().__init__(message)
+        #: Seconds until retrying can succeed (the ``Retry-After`` header,
+        #: rounded up on the wire).
+        self.retry_after = retry_after
+        self.code = code
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Bounds applied per client; ``None`` disables a bound."""
+
+    #: Sustained submissions per second (token-bucket refill rate).
+    rate: float | None = None
+    #: Bucket capacity: submissions admitted at full speed before the
+    #: rate applies.  Ignored when ``rate`` is None.
+    burst: int = 10
+    #: Maximum queued-or-running jobs one client may hold.
+    max_client_jobs: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be at least 1, got {self.burst}")
+        if self.max_client_jobs is not None and self.max_client_jobs < 1:
+            raise ValueError(f"max_client_jobs must be at least 1, got {self.max_client_jobs}")
+
+    @classmethod
+    def unlimited(cls) -> "QuotaPolicy":
+        return cls()
+
+    @property
+    def enforced(self) -> bool:
+        return self.rate is not None or self.max_client_jobs is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rate_per_second": self.rate,
+            "burst": self.burst if self.rate is not None else None,
+            "max_client_jobs": self.max_client_jobs,
+        }
+
+
+class ClientQuota:
+    """Thread-safe token buckets, one per client identity.
+
+    ``clock`` is injectable for sleep-free tests (same pattern as the
+    broker's lease clock).
+    """
+
+    def __init__(self, policy: QuotaPolicy, clock=time.monotonic) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._buckets: dict[str, tuple[float, float]] = {}  # client -> (tokens, stamp)
+        self._rejected: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def admit(self, client: str, live_jobs: int) -> None:
+        """Admit one submission or raise :class:`RateLimitedError`.
+
+        ``live_jobs`` is the client's current queued-or-running job
+        count (the service counts it under its own lock).
+        """
+        policy = self.policy
+        if policy.max_client_jobs is not None and live_jobs >= policy.max_client_jobs:
+            with self._lock:
+                self._rejected[client] = self._rejected.get(client, 0) + 1
+            raise RateLimitedError(
+                f"client {client!r} already has {live_jobs} live jobs "
+                f"(limit {policy.max_client_jobs}); wait for one to finish",
+                retry_after=1.0,
+                code="quota_exceeded",
+            )
+        if policy.rate is None:
+            return
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(client, (float(policy.burst), now))
+            tokens = min(float(policy.burst), tokens + (now - stamp) * policy.rate)
+            if tokens < 1.0:
+                self._buckets[client] = (tokens, now)
+                self._rejected[client] = self._rejected.get(client, 0) + 1
+                retry_after = (1.0 - tokens) / policy.rate
+                raise RateLimitedError(
+                    f"client {client!r} exceeded {policy.rate:g} submits/s "
+                    f"(burst {policy.burst}); retry in {math.ceil(retry_after)}s",
+                    retry_after=retry_after,
+                    code="rate_limited",
+                )
+            self._buckets[client] = (tokens - 1.0, now)
+
+    def stats(self) -> dict[str, Any]:
+        """Per-client bucket levels and rejection counts (for ``/v2/stats``)."""
+        with self._lock:
+            buckets = dict(self._buckets)
+            rejected = dict(self._rejected)
+        now = self._clock()
+        clients: dict[str, Any] = {}
+        for client, (tokens, stamp) in buckets.items():
+            if self.policy.rate is not None:
+                tokens = min(float(self.policy.burst), tokens + (now - stamp) * self.policy.rate)
+            clients[client] = {
+                "tokens": round(tokens, 3),
+                "rejected": rejected.get(client, 0),
+            }
+        for client, count in rejected.items():
+            clients.setdefault(client, {"tokens": None, "rejected": count})
+        return {"policy": self.policy.to_dict(), "clients": clients}

@@ -52,6 +52,15 @@ class ResultStore:
     def get(self, job_id: str) -> dict[str, Any] | None:
         raise NotImplementedError
 
+    def documents(self) -> list[dict[str, Any]]:
+        """A snapshot of every stored document (unspecified order).
+
+        Powers the ``/v2/runs`` listing and drain recovery — a restarted
+        service scans for ``status == "queued"`` markers left by a
+        graceful drain and re-adopts them.
+        """
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -87,6 +96,10 @@ class MemoryResultStore(ResultStore):
     def get(self, job_id: str) -> dict[str, Any] | None:
         with self._lock:
             return self._documents.get(job_id)
+
+    def documents(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._documents.values())
 
     def __len__(self) -> int:
         with self._lock:
@@ -146,6 +159,22 @@ class DiskResultStore(ResultStore):
                 return json.load(handle)
         except (OSError, json.JSONDecodeError):
             return None
+
+    def documents(self) -> list[dict[str, Any]]:
+        try:
+            names = sorted(
+                name for name in os.listdir(self.directory) if name.endswith(".json")
+            )
+        except OSError:
+            return []
+        documents = []
+        for name in names:
+            try:
+                with open(os.path.join(self.directory, name), "r", encoding="utf-8") as handle:
+                    documents.append(json.load(handle))
+            except (OSError, json.JSONDecodeError):
+                continue  # a concurrent writer or deleted file; skip it
+        return documents
 
     def __len__(self) -> int:
         try:

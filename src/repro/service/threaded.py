@@ -1,0 +1,209 @@
+"""The original ``http.server``-based front end, kept as a baseline.
+
+This is the threaded application :mod:`repro.service.app` replaced: a
+:class:`ThreadingHTTPServer` where every connection — including every
+idle ``?wait=1`` long-poll — costs one OS thread, and where a large
+batch executing in the single dispatch lane head-of-line-blocks every
+interactive submission behind it.
+
+It stays in the tree for one purpose: ``bench_service_throughput.py``
+measures the async+lanes server *against* this baseline, which keeps
+the claimed latency win honest and regression-gated.  It serves only
+the v1 surface and receives no new features.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+import repro
+from repro.service.core import (
+    CancelConflictError,
+    QueueFullError,
+    ServiceClosedError,
+    SimulationService,
+    UnknownJobError,
+)
+from repro.service.protocol import TERMINAL_STATUSES, ProtocolError
+
+__all__ = ["ThreadedServiceHTTPServer", "make_threaded_server"]
+
+#: Default/ceiling for the synchronous ``?wait=1`` hold, seconds.
+DEFAULT_WAIT_TIMEOUT = 60.0
+MAX_WAIT_TIMEOUT = 600.0
+#: Submission bodies above this are rejected unread (413).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+class ThreadedServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`SimulationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: SimulationService,
+                 quiet: bool = True) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ThreadedServiceHTTPServer
+    server_version = f"repro-service/{repro.__version__}"
+    # HTTP/1.1 keep-alive: every response below carries Content-Length.
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _reply(self, code: int, payload: dict, headers: dict[str, str] | None = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Set when the request body was not consumed (oversize/absent):
+            # advertise the close instead of silently dropping keep-alive.
+            self.send_header("Connection", "close")
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str, headers: dict[str, str] | None = None) -> None:
+        self._reply(code, {"error": message}, headers)
+
+    def _reply_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _query(self) -> dict[str, str]:
+        query = parse_qs(urlsplit(self.path).query)
+        return {key: values[-1] for key, values in query.items()}
+
+    def _path(self) -> str:
+        return urlsplit(self.path).path.rstrip("/") or "/"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self._path()
+        service = self.server.service
+        if path == "/v1/healthz":
+            self._reply(200, {
+                "status": "ok",
+                "version": repro.__version__,
+                **service.health(),
+            })
+        elif path == "/v1/stats":
+            self._reply(200, service.stats())
+        elif path == "/v1/metrics":
+            self._reply_text(
+                200, service.metrics_text(),
+                "text/plain; version=0.0.4; charset=utf-8")
+        elif path.startswith("/v1/runs/"):
+            job_id = path[len("/v1/runs/"):]
+            if "/" in job_id or not job_id:
+                self._error(404, f"no such resource {path!r}")
+                return
+            try:
+                self._reply(200, service.job(job_id))
+            except UnknownJobError:
+                self._error(404, f"unknown job {job_id!r}")
+        else:
+            self._error(404, f"no such resource {path!r}")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        path = self._path()
+        if not path.startswith("/v1/runs/"):
+            self._error(404, f"no such resource {path!r}")
+            return
+        job_id = path[len("/v1/runs/"):]
+        if "/" in job_id or not job_id:
+            self._error(404, f"no such resource {path!r}")
+            return
+        try:
+            self._reply(200, self.server.service.cancel(job_id))
+        except UnknownJobError:
+            self._error(404, f"unknown job {job_id!r}")
+        except CancelConflictError as error:
+            self._error(409, str(error))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self._path()
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if path != "/v1/runs" or not (0 < length <= MAX_BODY_BYTES):
+            # Replying without consuming the body would leave it in the
+            # socket for the next keep-alive request to parse as garbage.
+            self.close_connection = True
+        if path != "/v1/runs":
+            self._error(404, f"no such resource {path!r}")
+            return
+        if length < 0:
+            self._error(400, "invalid Content-Length")
+            return
+        if length == 0:
+            self._error(400, "request body required")
+            return
+        if length > MAX_BODY_BYTES:
+            self._error(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._error(400, f"invalid JSON body: {error}")
+            return
+
+        service = self.server.service
+        try:
+            job = service.submit_payload(
+                payload, trace_id=self.headers.get("X-Trace-Id"))
+        except ProtocolError as error:
+            self._error(400, str(error))
+            return
+        except QueueFullError as error:
+            self._error(503, str(error), headers={"Retry-After": "1"})
+            return
+        except ServiceClosedError as error:
+            self._error(503, str(error))
+            return
+
+        query = self._query()
+        location = {"Location": f"/v1/runs/{job.id}", "X-Trace-Id": job.trace_id}
+        if query.get("wait", "").lower() in _TRUTHY:
+            try:
+                timeout = float(query.get("timeout", DEFAULT_WAIT_TIMEOUT))
+            except ValueError:
+                timeout = DEFAULT_WAIT_TIMEOUT
+            timeout = max(0.0, min(timeout, MAX_WAIT_TIMEOUT))
+            document = service.wait(job.id, timeout=timeout)
+            finished = document["status"] in TERMINAL_STATUSES
+            self._reply(200 if finished else 202, document, location)
+        else:
+            self._reply(202, job.to_dict(), location)
+
+
+def make_threaded_server(
+    service: SimulationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ThreadedServiceHTTPServer:
+    """Bind (but do not run) the baseline server; ``port=0`` picks a free port."""
+    return ThreadedServiceHTTPServer((host, port), service, quiet=quiet)

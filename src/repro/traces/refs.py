@@ -202,6 +202,36 @@ class TraceRef:
                 return value
         raise KeyError(key)
 
+    @property
+    def trace_count(self) -> int:
+        """How many concrete traces this reference expands to."""
+        if self.scheme == "hard":
+            return len(HARD_TRACES) if self.name == "all" else 1
+        if self.scheme == "suite":
+            if self.name == "all":
+                return len(CATEGORIES) * int(self.param("count"))
+            if self.name in CATEGORIES:
+                return int(self.param("count"))
+        return 1
+
+    @property
+    def branch_estimate(self) -> int:
+        """Estimated total branches resolving this reference will simulate.
+
+        Exact for suite/hard/synthetic references (their length is a
+        parameter); shard fragments count their measured window plus the
+        warmup replay.  Used by the service's priority lanes to size
+        jobs without resolving any traces.
+        """
+        if self.scheme in ("suite", "hard"):
+            branches = int(self.param("branches"))
+        else:
+            branches = int(self.param("length"))
+        if self.shard is not None:
+            _, count = self.shard
+            branches = -(-branches // count) + self.shard_warmup
+        return branches * self.trace_count
+
 
 def _format_value(value: int | float) -> str:
     return repr(value) if isinstance(value, float) else str(value)

@@ -73,10 +73,10 @@ class TestCoreCancel:
             service.cancel(first.id)
             # The tombstone leaves the channel too: cancelled jobs must
             # not accumulate there while the dispatcher is busy.
-            assert service._queue.qsize() == 1
+            assert sum(lane.queue.qsize() for lane in service._lanes.values()) == 1
             replacement = service.submit([RunRequest("gshare", REF)])  # no 503
             assert service.stats()["queue"]["depth"] == 2
-            assert service._queue.qsize() == 2
+            assert sum(lane.queue.qsize() for lane in service._lanes.values()) == 2
             assert replacement.status is JobStatus.QUEUED
         finally:
             service.close()
