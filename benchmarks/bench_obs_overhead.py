@@ -1,19 +1,28 @@
-"""Observability tax: the same sweep with metrics on vs. off.
+"""Observability tax: the same sweep with metrics/spans on vs. off.
 
 Not a paper experiment — this bench guards the instrumentation added in
 :mod:`repro.obs`.  Every hot boundary (batch planning, kernel dispatch,
-cache lookups, pool tasks) touches the process-global registry, so this
-file runs a fig9-style size sweep twice:
+cache lookups, pool tasks) touches the process-global metrics registry
+AND the span recorder, so this file runs a fig9-style size sweep three
+ways:
 
-* **metrics off** — a disabled :class:`~repro.obs.MetricsRegistry`
-  (the ``REPRO_METRICS=off`` configuration): every mutator is a no-op,
-* **metrics on** — the default enabled registry.
+* **all off** — a disabled :class:`~repro.obs.MetricsRegistry`
+  (``REPRO_METRICS=off``) and a zero-rate
+  :class:`~repro.obs.SpanRecorder` (``REPRO_TRACE_SAMPLE=0``): every
+  mutator is a no-op and ``span(...)`` returns the shared no-op
+  singleton,
+* **metrics on** — the default enabled registry, spans still off,
+* **metrics + spans on** — both enabled, with a trace id bound so every
+  span actually records (an unbound sweep would sample nothing and
+  measure nothing).
 
 Each configuration runs several rounds and the minima are compared —
 min-of-rounds is the standard way to strip scheduler noise from a
-shared 1-CPU box.  The acceptance bar from the observability issue:
-metrics-on must stay within 5% of metrics-off (plus a small absolute
-grace so micro runs with sub-second sweeps don't flap on timer noise).
+shared 1-CPU box.  The acceptance bar from the tracing issue: the
+*combined* metrics+spans tax must stay within 5% of all-off (plus a
+small absolute grace so micro runs with sub-second sweeps don't flap
+on timer noise), and sampling-off must be indistinguishable from the
+metrics-only baseline.
 """
 
 from __future__ import annotations
@@ -21,7 +30,14 @@ from __future__ import annotations
 import time
 
 from benchmarks.conftest import run_once, suite_runner
-from repro.obs import MetricsRegistry, set_metrics
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    bind_trace_id,
+    new_trace_id,
+    set_metrics,
+    set_tracer,
+)
 
 ROUNDS = 3
 OVERHEAD_LIMIT = 0.05
@@ -38,16 +54,19 @@ def _sweep(bench_suite) -> None:
         bound.runner.close()
 
 
-def _measure(bench_suite, enabled: bool) -> float:
+def _measure(bench_suite, metrics: bool, spans: bool) -> float:
     best = float("inf")
-    previous = set_metrics(MetricsRegistry(enabled=enabled))
+    previous_metrics = set_metrics(MetricsRegistry(enabled=metrics))
+    previous_tracer = set_tracer(SpanRecorder(sample_rate=1.0 if spans else 0.0))
     try:
         for _ in range(ROUNDS):
-            start = time.perf_counter()
-            _sweep(bench_suite)
-            best = min(best, time.perf_counter() - start)
+            with bind_trace_id(new_trace_id()):
+                start = time.perf_counter()
+                _sweep(bench_suite)
+                best = min(best, time.perf_counter() - start)
     finally:
-        set_metrics(previous)
+        set_metrics(previous_metrics)
+        set_tracer(previous_tracer)
     return best
 
 
@@ -56,19 +75,32 @@ def test_bench_obs_overhead(benchmark, bench_suite):
         # Warm-up outside the timed rounds: JIT-free Python still pays
         # first-touch costs (imports, trace materialization, allocator).
         _sweep(bench_suite)
-        off = _measure(bench_suite, enabled=False)
-        on = _measure(bench_suite, enabled=True)
-        return off, on
+        off = _measure(bench_suite, metrics=False, spans=False)
+        metrics_on = _measure(bench_suite, metrics=True, spans=False)
+        both_on = _measure(bench_suite, metrics=True, spans=True)
+        return off, metrics_on, both_on
 
-    off, on = run_once(benchmark, measure)
-    overhead = (on - off) / off if off > 0 else 0.0
-    print(f"\nmetrics off: {1000 * off:.1f} ms/sweep (min of {ROUNDS})")
-    print(f"metrics on:  {1000 * on:.1f} ms/sweep (min of {ROUNDS})")
-    print(f"overhead:    {100 * overhead:+.2f}% (limit {100 * OVERHEAD_LIMIT:.0f}%)")
-    benchmark.extra_info["metrics_off_ms"] = round(1000 * off, 2)
-    benchmark.extra_info["metrics_on_ms"] = round(1000 * on, 2)
+    off, metrics_on, both_on = run_once(benchmark, measure)
+    overhead = (both_on - off) / off if off > 0 else 0.0
+    sampled_off = (metrics_on - off) / off if off > 0 else 0.0
+    print(f"\nall off:          {1000 * off:.1f} ms/sweep (min of {ROUNDS})")
+    print(f"metrics on:       {1000 * metrics_on:.1f} ms/sweep "
+          f"({100 * sampled_off:+.2f}%)")
+    print(f"metrics + spans:  {1000 * both_on:.1f} ms/sweep "
+          f"({100 * overhead:+.2f}%, limit {100 * OVERHEAD_LIMIT:.0f}%)")
+    benchmark.extra_info["all_off_ms"] = round(1000 * off, 2)
+    benchmark.extra_info["metrics_on_ms"] = round(1000 * metrics_on, 2)
+    benchmark.extra_info["metrics_spans_on_ms"] = round(1000 * both_on, 2)
     benchmark.extra_info["overhead_pct"] = round(100 * overhead, 2)
-    assert on <= off * (1 + OVERHEAD_LIMIT) + ABSOLUTE_GRACE_SECONDS, (
-        f"metrics-on sweep {on:.3f}s vs metrics-off {off:.3f}s "
+    assert both_on <= off * (1 + OVERHEAD_LIMIT) + ABSOLUTE_GRACE_SECONDS, (
+        f"metrics+spans sweep {both_on:.3f}s vs all-off {off:.3f}s "
+        f"exceeds the {100 * OVERHEAD_LIMIT:.0f}% observability budget"
+    )
+    # Spans sampled off must ride for free: same budget against the
+    # metrics-only baseline (the recorder is installed either way, so
+    # any difference is the span() fast path, which is one attribute
+    # check returning the no-op singleton).
+    assert metrics_on <= off * (1 + OVERHEAD_LIMIT) + ABSOLUTE_GRACE_SECONDS, (
+        f"metrics-only sweep {metrics_on:.3f}s vs all-off {off:.3f}s "
         f"exceeds the {100 * OVERHEAD_LIMIT:.0f}% observability budget"
     )

@@ -16,8 +16,10 @@ references and the named experiments)::
     repro serve --broker /shared/broker --store-dir /shared/results
     repro worker --broker /shared/broker --workers 4
     repro fleet --url http://127.0.0.1:8321
-    repro top --url http://127.0.0.1:8321 [--metrics]
+    repro top --url http://127.0.0.1:8321 [--metrics] [--watch 2]
     repro submit tage --url http://127.0.0.1:8321 --trace hard:MM05 --json
+    repro trace show <trace-id> --url http://127.0.0.1:8321
+    repro trace export <trace-id> --format chrome -o trace.json
     repro cancel job-3-0a1b2c3d --url http://127.0.0.1:8321
 
 Defaults for workers and caching come from the ``REPRO_SUITE_*``
@@ -51,6 +53,7 @@ from repro.obs import (
     JsonFormatter,
     bind_trace_id,
     configure_logging,
+    drain_spans,
     get_logger,
     get_metrics,
     log_event,
@@ -232,7 +235,8 @@ def _snapshot_by_label(snapshot: dict, name: str) -> dict[str, float]:
 
 
 def _batch_timings(snapshot: dict, wall_seconds: float) -> dict[str, Any]:
-    """The ``repro run --timings`` section, from the metrics snapshot."""
+    """The ``--timings`` fallback when tracing is sampled off: the same
+    section shape, from the (global, cumulative) metrics snapshot."""
     return {
         "wall_seconds": round(wall_seconds, 6),
         "plan_seconds": round(_snapshot_sum(snapshot, "repro_runner_plan_seconds"), 6),
@@ -240,6 +244,33 @@ def _batch_timings(snapshot: dict, wall_seconds: float) -> dict[str, Any]:
         "pool_task_seconds": round(_snapshot_sum(snapshot, "repro_pool_task_seconds"), 6),
         "scheduled": _snapshot_by_label(snapshot, "repro_sched_tasks_total"),
         "cache": _snapshot_by_label(snapshot, "repro_cache_lookups_total"),
+    }
+
+
+def _span_timings(spans: list[dict], snapshot: dict,
+                  wall_seconds: float) -> dict[str, Any]:
+    """The ``repro run --timings`` section, from this run's own span tree.
+
+    Spans carry the request's trace id, so the numbers attribute to THIS
+    invocation even when the process has run other batches — the metrics
+    registry (still used for the scheduled counts) cannot say that.
+    """
+    by_name: dict[str, float] = {}
+    cache: dict[str, int] = {}
+    for record in spans:
+        by_name[record["name"]] = by_name.get(record["name"], 0.0) + record["duration"]
+        if record["name"] == "cache.lookup":
+            outcome = str(record.get("attrs", {}).get("outcome", "_"))
+            cache[outcome] = cache.get(outcome, 0) + 1
+    return {
+        "wall_seconds": round(wall_seconds, 6),
+        "plan_seconds": round(by_name.get("runner.plan", 0.0), 6),
+        "kernel_seconds": round(by_name.get("backend.kernel", 0.0), 6),
+        "pool_task_seconds": round(
+            by_name.get("pool.task", 0.0) + by_name.get("pool.shard", 0.0), 6),
+        "scheduled": _snapshot_by_label(snapshot, "repro_sched_tasks_total"),
+        "cache": cache,
+        "spans": len(spans),
     }
 
 
@@ -321,11 +352,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with Runner(_runner_config(args)) as runner:
             results = runner.run_batch(requests)
         wall_seconds = time.perf_counter() - started
+        run_spans = [
+            record for record in drain_spans()
+            if record["trace_id"] == trace_id
+        ]
     payloads = [_suite_payload(request, result) for request, result in zip(requests, results)]
     if args.timings:
         # Opt-in wrapper: the default --json shape stays byte-identical
         # with service/fleet results, which CI diffs against this output.
-        timings = _batch_timings(get_metrics().snapshot(), wall_seconds)
+        # Numbers come from this request's own span tree; the metrics
+        # fallback only fires when tracing is sampled off.
+        if run_spans:
+            timings = _span_timings(run_spans, get_metrics().snapshot(), wall_seconds)
+        else:
+            timings = _batch_timings(get_metrics().snapshot(), wall_seconds)
         if args.json:
             _print_json({
                 "trace_id": trace_id,
@@ -576,8 +616,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                     small_job_branches=small_job_branches)
         workers = runner.config.workers
         mode = f"workers={'auto' if workers is None else workers}"
+    open_metrics = args.open_metrics or (
+        os.environ.get("REPRO_SERVICE_OPEN_METRICS", "").lower()
+        in ("1", "true", "yes", "on"))
     server = make_server(service, host=args.host, port=args.port,
-                         quiet=not args.verbose, auth=auth)
+                         quiet=not args.verbose, auth=auth,
+                         open_metrics=open_metrics)
     stop = threading.Event()
     _install_drain_handlers(stop)
     with service:
@@ -587,7 +631,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         _banner(f"repro service listening on {server.url}",
                 mode=mode, queue=args.queue_size,
                 lanes=",".join(service.lanes),
-                auth="token" if auth is not None else "open")
+                auth="token" if auth is not None else "open",
+                metrics="open" if open_metrics else "auth")
         # serve_forever runs on a helper thread so the main thread can
         # take SIGTERM/SIGINT and drain gracefully: stop accepting (new
         # submits answer 503 + Connection: close), park still-queued
@@ -713,9 +758,30 @@ def _print_dead_letters(dead: Any) -> None:
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if args.watch is None:
+        return _top_once(args, client)
+    if args.watch <= 0:
+        raise CLIError("top: --watch interval must be positive")
+    try:
+        while True:
+            if sys.stdout.isatty():
+                # Clear + home, like watch(1); a piped stream instead
+                # gets stanzas separated by a timestamp line.
+                print("\x1b[2J\x1b[H", end="")
+            else:
+                print(f"--- {time.strftime('%H:%M:%S')}", flush=True)
+            code = _top_once(args, client)
+            if code != 0:
+                return code
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _top_once(args: argparse.Namespace, client: "Any") -> int:
     from repro.service import ServiceClientError
 
-    client = _service_client(args)
     try:
         if args.metrics:
             text = client.metrics()
@@ -804,6 +870,44 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             print(f"{payload['trace']} [{payload['scenario']}]: {payload['predictor']}, "
                   f"{payload['mispredictions']}/{payload['branches']} mispredictions, "
                   f"MPKI {payload['mpki']:.2f}, MPPKI {payload['mppki']:.1f}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import render_critical_path, render_waterfall, to_chrome_trace
+    from repro.service import ServiceClientError
+
+    client = _service_client(args)
+    try:
+        document = client.trace(args.trace_id)
+    except ServiceClientError as error:
+        raise CLIError(f"trace: {error}") from None
+    spans = document.get("spans") or []
+    if args.action == "show":
+        if args.json:
+            _print_json(document)
+            return 0
+        processes = {record.get("pid") for record in spans}
+        print(f"trace {document['trace_id']}: {document['span_count']} span(s) "
+              f"across {len(processes)} process(es)")
+        print()
+        print(render_waterfall(spans))
+        print()
+        print(render_critical_path(spans))  # the * rows above, telescoped
+        return 0
+    # export
+    if args.format == "chrome":
+        payload: Any = to_chrome_trace(spans)
+    else:
+        payload = document
+    text = json.dumps(payload, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(spans)} span(s) to {args.output} "
+              f"({args.format} format)")
+    else:
+        print(text)
     return 0
 
 
@@ -969,6 +1073,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-client-jobs", type=int, default=None, metavar="N",
                        help="max queued+running jobs per client; over-cap "
                             "answers 429")
+    serve.add_argument("--open-metrics", action="store_true",
+                       help="serve GET /v2/metrics and /v1/metrics without "
+                            "bearer auth (for Prometheus scrapers; exposes "
+                            "operational counters — never results — to "
+                            "anyone who can reach the port; default: "
+                            "REPRO_SERVICE_OPEN_METRICS)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
     _add_runner_options(serve)
@@ -1062,9 +1172,51 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="service base URL (default http://127.0.0.1:8321)")
     top.add_argument("--metrics", action="store_true",
                      help="print the raw /v2/metrics exposition and exit")
+    top.add_argument("--watch", type=float, default=None, metavar="S",
+                     help="refresh every S seconds until Ctrl-C "
+                          "(clears the screen on a terminal)")
     _add_token_option(top)
     top.add_argument("--json", action="store_true", help="machine-readable output")
     top.set_defaults(func=_cmd_top)
+
+    tracer = sub.add_parser(
+        "trace", help="inspect one request's distributed span tree",
+        description="Fetch GET /v2/traces/<id> from a running service and "
+                    "render the stitched span tree — one tree per trace id "
+                    "even when the job crossed serve, broker and N fleet "
+                    "workers.  'show' prints a terminal waterfall plus the "
+                    "critical path; 'export --format chrome' writes "
+                    "Trace-Event JSON loadable in Perfetto / "
+                    "chrome://tracing.",
+    )
+    trace_actions = tracer.add_subparsers(dest="action", required=True,
+                                          metavar="ACTION")
+    trace_show = trace_actions.add_parser(
+        "show", help="terminal waterfall and critical-path breakdown")
+    trace_show.add_argument("trace_id", type=_parse_trace_id,
+                            help="trace id (X-Trace-Id / --trace-id / the "
+                                 "job document's trace_id)")
+    trace_show.add_argument("--url", default="http://127.0.0.1:8321", metavar="URL",
+                            help="service base URL (default http://127.0.0.1:8321)")
+    _add_token_option(trace_show)
+    trace_show.add_argument("--json", action="store_true",
+                            help="print the raw trace document instead")
+    trace_show.set_defaults(func=_cmd_trace)
+    trace_export = trace_actions.add_parser(
+        "export", help="export the trace (chrome trace-event or raw JSON)")
+    trace_export.add_argument("trace_id", type=_parse_trace_id,
+                              help="trace id to export")
+    trace_export.add_argument("--format", choices=["chrome", "json"],
+                              default="chrome",
+                              help="chrome: Trace-Event JSON for Perfetto / "
+                                   "chrome://tracing (default); json: the "
+                                   "raw /v2/traces document")
+    trace_export.add_argument("-o", "--output", default=None, metavar="FILE",
+                              help="write here instead of stdout")
+    trace_export.add_argument("--url", default="http://127.0.0.1:8321", metavar="URL",
+                              help="service base URL (default http://127.0.0.1:8321)")
+    _add_token_option(trace_export)
+    trace_export.set_defaults(func=_cmd_trace)
 
     cancel = sub.add_parser(
         "cancel", help="cancel a queued job on a repro service",

@@ -36,7 +36,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.api.config import RunnerConfig
-from repro.obs import get_metrics
+from repro.obs import get_metrics, span
 from repro.api.request import RunRequest, coerce_scenario, validate_shard_coverage
 from repro.backends import DEFAULT_BACKEND
 from repro.pipeline.config import PipelineConfig
@@ -230,8 +230,13 @@ class Runner:
         exact chain can even serve a later whole-trace request (and
         vice versa).
         """
+        with span("runner.batch", requests=len(requests)):
+            return self._run_batch(requests)
+
+    def _run_batch(self, requests: Sequence[RunRequest]) -> list[SuiteResult]:
         registry = get_metrics()
         batch_start = time.perf_counter()
+        plan_span = span("runner.plan").__enter__()
         validate_shard_coverage(requests)
         flat: list[tuple] = []
         flat_backends: list[str] = []
@@ -292,6 +297,7 @@ class Runner:
         ]
         # Planning covers trace resolution, shard planning and cache
         # probes — everything before the scheduling pass takes over.
+        plan_span.__exit__(None, None, None)
         registry.histogram(
             "repro_runner_plan_seconds",
             "Batch planning time: resolve, shard-plan, cache-probe.",

@@ -43,6 +43,7 @@ from typing import Sequence
 
 from repro.backends.base import Backend
 from repro.backends.vector import neural, tage, twobit
+from repro.obs import span
 from repro.backends.vector.streams import StreamCache, TraceStreams
 from repro.hardware.access_counter import AccessProfile
 from repro.pipeline.config import PipelineConfig
@@ -110,21 +111,22 @@ class NumpyBackend(Backend):
         results: list[SimulationResult | None] = [None] * len(tasks)
         cache = StreamCache()
         lanes: dict[str, list] = {"twobit": [], "perceptron": [], "gehl": [], "tage": []}
-        for position, (spec, trace) in enumerate(tasks):
-            kernel = _kernel_for(spec)
-            if kernel is None:
-                raise ValueError(
-                    f"spec {spec!r} is not supported by the numpy backend; "
-                    "schedulers must check supports() and fall back"
-                )
-            warmup = trace.warmup_count
-            if not 0 <= warmup <= len(trace.records):
-                raise ValueError(
-                    f"trace {trace.name!r}: warmup_count {warmup} "
-                    f"outside [0, {len(trace.records)}]"
-                )
-            family = "twobit" if spec.kind in _TWOBIT_KINDS else spec.kind
-            lanes[family].append((position, kernel, cache.for_trace(trace), warmup))
+        with span("backend.streams", backend=self.name, tasks=len(tasks)):
+            for position, (spec, trace) in enumerate(tasks):
+                kernel = _kernel_for(spec)
+                if kernel is None:
+                    raise ValueError(
+                        f"spec {spec!r} is not supported by the numpy backend; "
+                        "schedulers must check supports() and fall back"
+                    )
+                warmup = trace.warmup_count
+                if not 0 <= warmup <= len(trace.records):
+                    raise ValueError(
+                        f"trace {trace.name!r}: warmup_count {warmup} "
+                        f"outside [0, {len(trace.records)}]"
+                    )
+                family = "twobit" if spec.kind in _TWOBIT_KINDS else spec.kind
+                lanes[family].append((position, kernel, cache.for_trace(trace), warmup))
 
         for position, kernel, streams, warmup in lanes["twobit"]:
             if scenario is UpdateScenario.IMMEDIATE:

@@ -178,14 +178,26 @@ class Broker:
         or belongs to another worker."""
         raise NotImplementedError
 
-    def complete(self, job_id: str, worker_id: str, results: Any) -> bool:
+    def complete(self, job_id: str, worker_id: str, results: Any,
+                 spans: list | None = None) -> bool:
         """Record results; ``True`` if this call won, ``False`` for a
-        duplicate completion (already done — first write wins)."""
+        duplicate completion (already done — first write wins).
+
+        ``spans`` are the completed trace spans of the executing attempt
+        (ship-once, like metrics deltas).  They are stored *next to* the
+        results — never inside them, so job results stay byte-identical
+        with tracing on or off — and surface through :meth:`snapshot`'s
+        ``spans`` key.  Span accumulation is per-attempt: a duplicate
+        completion loses the results race but still files its spans, so
+        re-delivered attempts appear as sibling subtrees of one trace.
+        """
         raise NotImplementedError
 
-    def fail(self, job_id: str, worker_id: str, error: str) -> None:
+    def fail(self, job_id: str, worker_id: str, error: str,
+             spans: list | None = None) -> None:
         """Record an execution failure: re-queue with backoff, or
-        dead-letter once the attempt budget is spent."""
+        dead-letter once the attempt budget is spent.  ``spans`` from
+        the failed attempt accumulate like :meth:`complete`'s."""
         raise NotImplementedError
 
     def cancel(self, job_id: str) -> bool:

@@ -13,6 +13,9 @@ rename is the concurrency primitive.  Layout::
     <root>/dead/<id>.json       dead-lettered jobs (last error, attempts)
     <root>/cancelled/<id>.json  cancelled-before-delivery markers
     <root>/workers/<id>.json    worker registrations + heartbeats
+    <root>/spans/<id>.*.json    per-attempt trace spans, one file per
+                                completion/failure report (re-delivered
+                                attempts file siblings, never append)
     <root>/tmp/                 scratch for atomic writes
 
 Claiming a job is ``os.rename(pending/<ticket>, leased/<id>.json)`` —
@@ -51,7 +54,8 @@ from repro.distrib.broker import (
 __all__ = ["FileBroker"]
 
 _SAFE_ID = re.compile(r"^[A-Za-z0-9._-]+$")
-_DIRS = ("jobs", "pending", "leased", "done", "dead", "cancelled", "workers", "tmp")
+_DIRS = ("jobs", "pending", "leased", "done", "dead", "cancelled", "workers",
+         "spans", "tmp")
 
 
 class FileBroker(Broker):
@@ -213,9 +217,11 @@ class FileBroker(Broker):
         self._write(lease_path, lease)
         return lease["deadline"]
 
-    def complete(self, job_id: str, worker_id: str, results: Any) -> bool:
+    def complete(self, job_id: str, worker_id: str, results: Any,
+                 spans: list | None = None) -> bool:
         if not os.path.exists(self._path("jobs", job_id)):
             raise UnknownBrokerJobError(job_id)
+        self._file_spans(job_id, spans)
         lease = self._read(self._path("leased", job_id))
         attempt = lease["attempt"] if lease and lease.get("worker") == worker_id else None
         won = self._write_exclusive(self._path("done", job_id), {
@@ -234,10 +240,12 @@ class FileBroker(Broker):
             self._note("completed")
         return won
 
-    def fail(self, job_id: str, worker_id: str, error: str) -> None:
+    def fail(self, job_id: str, worker_id: str, error: str,
+             spans: list | None = None) -> None:
         record = self._read(self._path("jobs", job_id))
         if record is None:
             raise UnknownBrokerJobError(job_id)
+        self._file_spans(job_id, spans)
         lease = self._take_lease(job_id, worker_id)
         if lease is None:
             # Lease already reaped/re-delivered: that delivery owns the
@@ -317,6 +325,35 @@ class FileBroker(Broker):
         """Remove our lease file, tolerating every race."""
         self._take_lease(job_id, worker_id)
 
+    def _file_spans(self, job_id: str, spans: list | None) -> None:
+        """Persist one attempt's spans next to (never inside) the results.
+
+        Each report gets its own uniquely-named file — no shared-file
+        append, so concurrent completions of an expired-lease twin file
+        as genuine siblings with zero coordination.
+        """
+        if not spans:
+            return
+        name = f"{job_id}.{os.getpid()}.{next(self._scratch_seq)}.json"
+        self._write(os.path.join(self.root, "spans", name), {"spans": spans})
+
+    def _job_spans(self, job_id: str) -> list:
+        """Concatenate every attempt's span file for ``job_id``."""
+        directory = os.path.join(self.root, "spans")
+        prefix = f"{job_id}."
+        collected: list = []
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return collected
+        for name in names:
+            if not (name.startswith(prefix) and name.endswith(".json")):
+                continue
+            entry = self._read(os.path.join(directory, name))
+            if entry:
+                collected.extend(entry.get("spans", ()))
+        return collected
+
     def _take_lease(self, job_id: str, worker_id: str) -> dict | None:
         """Atomically remove ``worker_id``'s lease and return its content.
 
@@ -365,12 +402,14 @@ class FileBroker(Broker):
         if done is not None:
             return {**base, "state": "done", "attempts": done["attempt"],
                     "worker": done["worker"], "results": done["results"],
-                    "finished": done["finished"]}
+                    "finished": done["finished"],
+                    "spans": self._job_spans(job_id)}
         dead = self._read(self._path("dead", job_id))
         if dead is not None:
             return {**base, "state": "dead", "attempts": dead["attempts"],
                     "worker": None, "results": None,
-                    "finished": dead["finished"], "error": dead["error"]}
+                    "finished": dead["finished"], "error": dead["error"],
+                    "spans": self._job_spans(job_id)}
         cancelled = self._read(self._path("cancelled", job_id))
         if cancelled is not None:
             return {**base, "state": "cancelled", "attempts": 0, "worker": None,

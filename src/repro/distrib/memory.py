@@ -41,6 +41,9 @@ class MemoryBroker(Broker):
         self._dead: dict[str, dict] = {}
         self._cancelled: dict[str, float] = {}
         self._workers: dict[str, dict] = {}
+        #: Trace spans shipped by executing attempts, accumulated per
+        #: job (every attempt files, so re-deliveries become siblings).
+        self._spans: dict[str, list] = {}
 
     # ------------------------------------------------------------------
     # Job lifecycle
@@ -95,10 +98,13 @@ class MemoryBroker(Broker):
             lease["deadline"] = self._now() + self.visibility
             return lease["deadline"]
 
-    def complete(self, job_id: str, worker_id: str, results: Any) -> bool:
+    def complete(self, job_id: str, worker_id: str, results: Any,
+                 spans: list | None = None) -> bool:
         with self._lock:
             if job_id not in self._jobs:
                 raise UnknownBrokerJobError(job_id)
+            if spans:
+                self._spans.setdefault(job_id, []).extend(spans)
             if job_id in self._done:
                 # First write won already (a re-delivered twin finished
                 # earlier); drop our lease if we still hold one.
@@ -117,11 +123,14 @@ class MemoryBroker(Broker):
         self._note("completed")
         return True
 
-    def fail(self, job_id: str, worker_id: str, error: str) -> None:
+    def fail(self, job_id: str, worker_id: str, error: str,
+             spans: list | None = None) -> None:
         with self._lock:
             job = self._jobs.get(job_id)
             if job is None:
                 raise UnknownBrokerJobError(job_id)
+            if spans:
+                self._spans.setdefault(job_id, []).extend(spans)
             if job_id in self._done or job_id in self._dead:
                 return  # already terminal; a late failure report is moot
             lease = self._leases.get(job_id)
@@ -205,12 +214,14 @@ class MemoryBroker(Broker):
             if done is not None:
                 return {**base, "state": "done", "attempts": done["attempt"],
                         "worker": done["worker"], "results": done["results"],
-                        "finished": done["finished"], "error": None}
+                        "finished": done["finished"], "error": None,
+                        "spans": list(self._spans.get(job_id, ()))}
             dead = self._dead.get(job_id)
             if dead is not None:
                 return {**base, "state": "dead", "attempts": dead["attempts"],
                         "worker": None, "results": None,
-                        "finished": dead["finished"], "error": dead["error"]}
+                        "finished": dead["finished"], "error": dead["error"],
+                        "spans": list(self._spans.get(job_id, ()))}
             if job_id in self._cancelled:
                 return {**base, "state": "cancelled", "attempts": 0,
                         "worker": None, "results": None,

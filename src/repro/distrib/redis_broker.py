@@ -109,9 +109,11 @@ class RedisBroker(Broker):
         self._redis.zadd(self._key("leases"), {job_id: deadline})
         return deadline
 
-    def complete(self, job_id: str, worker_id: str, results: Any) -> bool:
+    def complete(self, job_id: str, worker_id: str, results: Any,
+                 spans: list | None = None) -> bool:
         if not self._redis.exists(self._key("job", job_id)):
             raise UnknownBrokerJobError(job_id)
+        self._file_spans(job_id, spans)
         lease = self._redis.hgetall(self._key("lease", job_id))
         attempt = int(lease["attempt"]) if lease.get("worker") == worker_id else None
         won = bool(self._redis.set(self._key("done", job_id), json.dumps({
@@ -128,10 +130,12 @@ class RedisBroker(Broker):
             self._drop_lease(job_id)
         return won
 
-    def fail(self, job_id: str, worker_id: str, error: str) -> None:
+    def fail(self, job_id: str, worker_id: str, error: str,
+             spans: list | None = None) -> None:
         record = self._redis.hgetall(self._key("job", job_id))
         if not record:
             raise UnknownBrokerJobError(job_id)
+        self._file_spans(job_id, spans)
         lease = self._redis.hgetall(self._key("lease", job_id))
         if not lease or lease.get("worker") != worker_id:
             return  # reaped/re-delivered: that delivery owns the retry now
@@ -183,6 +187,20 @@ class RedisBroker(Broker):
         self._redis.delete(self._key("lease", job_id))
         self._redis.zrem(self._key("leases"), job_id)
 
+    def _file_spans(self, job_id: str, spans: list | None) -> None:
+        # One rpush per report: re-delivered attempts append as siblings.
+        if spans:
+            self._redis.rpush(self._key("spans", job_id), json.dumps(spans))
+
+    def _job_spans(self, job_id: str) -> list:
+        collected: list = []
+        for chunk in self._redis.lrange(self._key("spans", job_id), 0, -1):
+            try:
+                collected.extend(json.loads(chunk))
+            except (TypeError, ValueError):
+                continue
+        return collected
+
     def _write_dead(self, job_id: str, error: str, attempts: int) -> None:
         self._redis.set(self._key("dead", job_id), json.dumps({
             "error": error, "attempts": attempts, "finished": self._now(),
@@ -214,13 +232,15 @@ class RedisBroker(Broker):
             doc = json.loads(done)
             return {**base, "state": "done", "attempts": doc["attempt"],
                     "worker": doc["worker"], "results": doc["results"],
-                    "finished": doc["finished"], "error": None}
+                    "finished": doc["finished"], "error": None,
+                    "spans": self._job_spans(job_id)}
         dead = self._redis.get(self._key("dead", job_id))
         if dead is not None:
             doc = json.loads(dead)
             return {**base, "state": "dead", "attempts": doc["attempts"],
                     "worker": None, "results": None,
-                    "finished": doc["finished"], "error": doc["error"]}
+                    "finished": doc["finished"], "error": doc["error"],
+                    "spans": self._job_spans(job_id)}
         cancelled = self._redis.get(self._key("cancelled", job_id))
         if cancelled is not None:
             return {**base, "state": "cancelled", "attempts": 0, "worker": None,

@@ -39,7 +39,15 @@ from repro.api.results import suite_payload
 from repro.api.runner import Runner
 from repro.backends import available_backends
 from repro.distrib.broker import Broker, Lease, LeaseLostError
-from repro.obs import bind_trace_id, get_logger, get_metrics, log_event
+from repro.obs import (
+    bind_span_context,
+    bind_trace_id,
+    drain_spans,
+    get_logger,
+    get_metrics,
+    log_event,
+    span,
+)
 
 __all__ = ["FleetWorker", "default_capabilities", "new_worker_id"]
 
@@ -221,7 +229,15 @@ class FleetWorker:
                 requests = [
                     RunRequest.from_dict(entry) for entry in lease.payload["requests"]
                 ]
-                results = self.runner.run_batch(requests)
+                # Adopt the front end's span context from the ticket: the
+                # worker's subtree parents under the serve-side dispatch
+                # span, and each delivery is its own attempt-tagged span —
+                # a re-delivered lease becomes a sibling, never a merge.
+                with bind_span_context(lease.payload.get("span")):
+                    with span("worker.execute", attempt=lease.attempt,
+                              worker=self.worker_id,
+                              proc=f"worker:{self.worker_id}"):
+                        results = self.runner.run_batch(requests)
                 payloads = [
                     suite_payload(request, result)
                     for request, result in zip(requests, results)
@@ -236,7 +252,8 @@ class FleetWorker:
                           worker=self.worker_id, job=lease.job_id,
                           attempt=lease.attempt, error=f"{type(error).__name__}: {message}")
                 self.broker.fail(lease.job_id, self.worker_id,
-                                 f"{type(error).__name__}: {message}")
+                                 f"{type(error).__name__}: {message}",
+                                 spans=drain_spans() or None)
                 return
             stop_beat.set()
             beat.join()
@@ -245,7 +262,8 @@ class FleetWorker:
             # complete() is idempotent: if the lease expired mid-run and a
             # twin finished first, this is a quiet no-op (results being
             # deterministic, both copies are identical anyway).
-            if self.broker.complete(lease.job_id, self.worker_id, payloads):
+            if self.broker.complete(lease.job_id, self.worker_id, payloads,
+                                    spans=drain_spans() or None):
                 self.completed += 1
                 _job_counter().inc(outcome="completed")
                 log_event(_LOG, logging.INFO, "job completed",

@@ -42,27 +42,63 @@ from repro.obs.metrics import (
     get_metrics,
     set_metrics,
 )
+from repro.obs.spans import (
+    ENV_TRACE_SAMPLE,
+    NOOP_SPAN,
+    SpanRecorder,
+    SpanStore,
+    bind_span_context,
+    build_tree,
+    critical_path,
+    current_span_context,
+    drain_spans,
+    get_tracer,
+    make_span,
+    new_span_id,
+    render_critical_path,
+    render_waterfall,
+    set_tracer,
+    span,
+    to_chrome_trace,
+)
 
 __all__ = [
     "ENV_LOG",
     "ENV_LOG_JSON",
     "ENV_METRICS",
+    "ENV_TRACE_SAMPLE",
+    "NOOP_SPAN",
     "SECONDS_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonFormatter",
     "MetricsRegistry",
+    "SpanRecorder",
+    "SpanStore",
     "TextFormatter",
+    "bind_span_context",
     "bind_trace_id",
+    "build_tree",
     "configure_logging",
+    "critical_path",
+    "current_span_context",
     "current_trace_id",
+    "drain_spans",
     "ensure_trace_id",
     "get_logger",
     "get_metrics",
+    "get_tracer",
     "log_event",
+    "make_span",
+    "new_span_id",
     "new_trace_id",
     "parse_log_level",
+    "render_critical_path",
+    "render_waterfall",
     "set_metrics",
+    "set_tracer",
+    "span",
+    "to_chrome_trace",
     "valid_trace_id",
 ]

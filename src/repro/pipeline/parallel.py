@@ -32,7 +32,15 @@ import time
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
-from repro.obs import get_logger, get_metrics, log_event
+from repro.obs import (
+    bind_span_context,
+    current_span_context,
+    get_logger,
+    get_metrics,
+    get_tracer,
+    log_event,
+    span,
+)
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.engine import SimulationEngine
 from repro.pipeline.metrics import SimulationResult, SuiteResult
@@ -74,11 +82,15 @@ def _reset_child_metrics() -> None:
     Under the fork start method a child inherits a *copy* of the
     parent's registry; without this reset the first :meth:`~repro.obs.
     MetricsRegistry.drain` would ship that inherited state back and
-    double-count everything the parent had already recorded.
+    double-count everything the parent had already recorded.  The span
+    recorder gets the same treatment: inherited buffered spans must not
+    ship home a second time.
     """
     from repro.obs.metrics import set_metrics
+    from repro.obs.spans import set_tracer
 
     set_metrics(None)  # next get_metrics() builds a fresh registry
+    set_tracer(None)  # next span() builds a fresh recorder
 
 
 def _pool_task_metrics(kind: str, seconds: float) -> None:
@@ -293,29 +305,34 @@ class SuiteCache:
 
     def get(self, key: str) -> SimulationResult | None:
         """Return the cached result for ``key``, or None."""
-        path = self._path(key)
-        if not os.path.exists(path):
-            self.misses += 1
-            _cache_lookups().inc(outcome="miss")
-            return None
-        try:
-            with open(path, "rb") as handle:
-                result = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError) as error:
-            # A corrupt or half-written entry is a miss, but not a silent
-            # one: the operator should know the cache is shedding data.
-            self.misses += 1
-            _cache_lookups().inc(outcome="corrupt")
-            log_event(_LOG, logging.WARNING, "cache entry unreadable",
-                      key=key, error=repr(error))
-            return None
-        try:
-            os.utime(path)  # refresh recency so LRU pruning keeps hot entries
-        except OSError:
-            pass
-        self.hits += 1
-        _cache_lookups().inc(outcome="hit")
-        return result
+        with span("cache.lookup") as lookup:
+            path = self._path(key)
+            if not os.path.exists(path):
+                self.misses += 1
+                _cache_lookups().inc(outcome="miss")
+                lookup.set(outcome="miss")
+                return None
+            try:
+                with open(path, "rb") as handle:
+                    result = pickle.load(handle)
+            except (OSError, pickle.PickleError, EOFError) as error:
+                # A corrupt or half-written entry is a miss, but not a
+                # silent one: the operator should know the cache is
+                # shedding data.
+                self.misses += 1
+                _cache_lookups().inc(outcome="corrupt")
+                lookup.set(outcome="corrupt")
+                log_event(_LOG, logging.WARNING, "cache entry unreadable",
+                          key=key, error=repr(error))
+                return None
+            try:
+                os.utime(path)  # refresh recency so LRU keeps hot entries
+            except OSError:
+                pass
+            self.hits += 1
+            _cache_lookups().inc(outcome="hit")
+            lookup.set(outcome="hit")
+            return result
 
     def put(self, key: str, result: SimulationResult) -> None:
         """Store one result (atomic rename so readers never see partials).
@@ -379,50 +396,77 @@ def _simulate_one(task: tuple) -> SimulationResult:
     return SimulationEngine(predictor, scenario, config).run(trace)
 
 
-def _simulate_one_warm(task: tuple) -> tuple[SimulationResult, bool, dict]:
+def _simulate_one_warm(
+    envelope: tuple,
+) -> tuple[SimulationResult, bool, dict, list]:
     """Pool worker for :class:`WorkerPool`: result, whether the worker's
     predictor cache served this task warm (reset-reuse), and the drained
-    metrics delta of the executing process — the parent merges it, so
-    child-process instrumentation shows up in ``GET /v1/metrics``."""
+    metrics delta plus completed spans of the executing process — the
+    parent merges both, so child-process instrumentation shows up in
+    ``GET /v1/metrics`` and the task's spans join the request's tree.
+
+    ``envelope`` is ``(task, span_context)``: the parent's span context
+    (or ``None``) rides next to the task so the child's ``pool.task``
+    span parents under the submitting span, not under whatever the
+    recycled worker ran last.
+    """
+    task, context = envelope
     start = time.perf_counter()
     spec, trace, scenario, config = task
-    predictor, warm = _predictor_for(spec)
-    result = SimulationEngine(predictor, scenario, config).run(trace)
+    with bind_span_context(context):
+        with span("pool.task", kind="sim", trace=trace.name):
+            predictor, warm = _predictor_for(spec)
+            result = SimulationEngine(predictor, scenario, config).run(trace)
     _pool_task_metrics("sim", time.perf_counter() - start)
-    return result, warm, get_metrics().drain()
+    return result, warm, get_metrics().drain(), _drain_child_spans()
 
 
-def _run_exact_shard(payload: tuple) -> tuple[SimulationResult, bytes | None, dict]:
+def _drain_child_spans() -> list:
+    """Ship-once spans for a finished pool task (empty when unsampled)."""
+    from repro.obs.spans import drain_spans
+
+    return drain_spans()
+
+
+def _run_exact_shard(
+    envelope: tuple,
+) -> tuple[SimulationResult, bytes | None, dict, list]:
     """Pool worker: one exact-mode shard of a trace.
 
-    ``payload`` is ``(spec, records, name, window, scenario, config,
-    state, final)``.  With ``state=None`` (first shard) the predictor
-    starts from power-on state, exactly like an unsharded run; otherwise
-    ``state`` is the pickled ``(predictor, in-flight window)`` handed
-    over by the previous shard, so measurement resumes mid-pipeline —
-    partially executed branches retire here, under the same scenario
-    policy, with their update accounted to the shard that retires them.
-    Returns the shard's window result, the pickled state for the next
-    shard (``None`` after the final shard, which drains), and the
-    executing process's drained metrics delta.
+    ``envelope`` is ``(payload, span_context)`` where ``payload`` is
+    ``(spec, records, name, window, scenario, config, state, final)``.
+    With ``state=None`` (first shard) the predictor starts from power-on
+    state, exactly like an unsharded run; otherwise ``state`` is the
+    pickled ``(predictor, in-flight window)`` handed over by the
+    previous shard, so measurement resumes mid-pipeline — partially
+    executed branches retire here, under the same scenario policy, with
+    their update accounted to the shard that retires them.  Returns the
+    shard's window result, the pickled state for the next shard
+    (``None`` after the final shard, which drains), and the executing
+    process's drained metrics delta and completed spans.
     """
+    payload, context = envelope
     start = time.perf_counter()
     spec, records, name, window, scenario, config, state, final = payload
-    if state is None:
-        predictor, _ = _predictor_for(spec)
-        entries: list[tuple] = []
-    else:
-        predictor, entries = pickle.loads(state)
-    engine = SimulationEngine(predictor, scenario, config)
-    engine.start()
-    engine.import_state(entries)
-    engine.feed(records)
-    if final:
-        engine.drain_window()
-    result = engine.result(name, window=window)
-    handoff = None if final else pickle.dumps((predictor, engine.export_state()))
+    with bind_span_context(context):
+        with span("pool.shard", kind="exact", trace=name,
+                  start_branch=window[0], final=final):
+            if state is None:
+                predictor, _ = _predictor_for(spec)
+                entries: list[tuple] = []
+            else:
+                predictor, entries = pickle.loads(state)
+            engine = SimulationEngine(predictor, scenario, config)
+            engine.start()
+            engine.import_state(entries)
+            engine.feed(records)
+            if final:
+                engine.drain_window()
+            result = engine.result(name, window=window)
+            handoff = (None if final
+                       else pickle.dumps((predictor, engine.export_state())))
     _pool_task_metrics("exact", time.perf_counter() - start)
-    return result, handoff, get_metrics().drain()
+    return result, handoff, get_metrics().drain(), _drain_child_spans()
 
 
 @dataclass
@@ -543,18 +587,22 @@ class WorkerPool:
         joining workers so none are orphaned.
         """
         executor = self._ensure()
+        context = current_span_context()
+        envelopes = [(task, context) for task in tasks]
         try:
-            outcomes = list(executor.map(_simulate_one_warm, tasks))
+            outcomes = list(executor.map(_simulate_one_warm, envelopes))
         except (BrokenExecutor, KeyboardInterrupt, SystemExit):
             self.close(cancel=True)
             raise
         self.batches += 1
         self.tasks_executed += len(outcomes)
-        self.warm_hits += sum(1 for _, warm, _ in outcomes if warm)
+        self.warm_hits += sum(1 for _, warm, _, _ in outcomes if warm)
         registry = get_metrics()
-        for _, _, deltas in outcomes:
+        tracer = get_tracer()
+        for _, _, deltas, spans in outcomes:
             registry.merge(deltas)
-        return [result for result, _, _ in outcomes]
+            tracer.merge(spans)
+        return [result for result, _, _, _ in outcomes]
 
     def submit(self, payload: tuple) -> Future:
         """Dispatch one exact-mode shard job (see :func:`run_exact_chains`).
@@ -563,7 +611,8 @@ class WorkerPool:
         first shard of a chain touches the worker's predictor cache, the
         rest resume from pickled state.
         """
-        future = self._ensure().submit(_run_exact_shard, payload)
+        future = self._ensure().submit(
+            _run_exact_shard, (payload, current_span_context()))
         self.exact_shards += 1
         return future
 
@@ -575,7 +624,8 @@ class WorkerPool:
         chains in one pass.  The caller aggregates the warm flags and
         reports them through :meth:`record_batch`.
         """
-        return self._ensure().submit(_simulate_one_warm, task)
+        return self._ensure().submit(
+            _simulate_one_warm, (task, current_span_context()))
 
     def record_batch(self, executed: int, warm_hits: int) -> None:
         """Fold one :meth:`submit_sim`-based batch into the warm accounting."""
@@ -631,6 +681,23 @@ def _resolve_selection(selection):
 
 
 def run_scheduled(
+    tasks: list[tuple[PredictorSpec, Trace, UpdateScenario, PipelineConfig]],
+    chains: list[ExactShardChain] | None = None,
+    max_workers: int | None = None,
+    cache: SuiteCache | None = None,
+    pool: WorkerPool | None = None,
+    backend=None,
+) -> tuple[list[SimulationResult], list[SimulationResult]]:
+    """One scheduling pass over flat tasks, exact-shard chains and backends.
+    See :func:`_run_scheduled`; this wrapper owns the ``sched.run`` span
+    so routing, cache probes, kernel calls and pool dispatch all nest
+    under one node of the request's trace tree.
+    """
+    with span("sched.run", tasks=len(tasks), chains=len(chains or [])):
+        return _run_scheduled(tasks, chains, max_workers, cache, pool, backend)
+
+
+def _run_scheduled(
     tasks: list[tuple[PredictorSpec, Trace, UpdateScenario, PipelineConfig]],
     chains: list[ExactShardChain] | None = None,
     max_workers: int | None = None,
@@ -751,7 +818,8 @@ def run_scheduled(
             chosen = kernel_backends[batch_key]
             pairs = [(unique_tasks[index][0], unique_tasks[index][1]) for index in indices]
             _, _, scenario, config = unique_tasks[indices[0]]
-            with kernel_seconds.time(backend=chosen.name):
+            with kernel_seconds.time(backend=chosen.name), span(
+                    "backend.kernel", backend=chosen.name, tasks=len(indices)):
                 outcomes = chosen.run_tasks(pairs, scenario, config)
             for index, result in zip(indices, outcomes):
                 fresh[index] = result
@@ -759,17 +827,23 @@ def run_scheduled(
     interp_tasks = [unique_tasks[index] for index in interp_indices]
     chain_parts: list[list[SimulationResult]] = [[] for _ in chains]
 
+    tracer = get_tracer()
+
     def run_serial() -> None:
         run_kernel_groups()
         for index, task in zip(interp_indices, interp_tasks):
             start = time.perf_counter()
-            fresh[index] = _simulate_one(task)
+            with span("pool.task", kind="sim", trace=task[1].name):
+                fresh[index] = _simulate_one(task)
             _pool_task_metrics("sim", time.perf_counter() - start)
+        context = current_span_context()
         for position, chain in enumerate(chains):
             state: bytes | None = None
             for shard in range(len(chain.windows)):
-                result, state, deltas = _run_exact_shard(chain.payload(shard, state))
+                result, state, deltas, spans = _run_exact_shard(
+                    (chain.payload(shard, state), context))
                 registry.merge(deltas)
+                tracer.merge(spans)
                 chain_parts[position].append(result)
 
     def drive(submit_task, submit_shard) -> tuple[int, int]:
@@ -790,14 +864,16 @@ def run_scheduled(
             for future in done:
                 kind, index = pending.pop(future)
                 if kind == "task":
-                    result, was_warm, deltas = future.result()
+                    result, was_warm, deltas, spans = future.result()
                     registry.merge(deltas)
+                    tracer.merge(spans)
                     fresh[index] = result
                     executed += 1
                     warm += 1 if was_warm else 0
                 else:
-                    result, state, deltas = future.result()
+                    result, state, deltas, spans = future.result()
                     registry.merge(deltas)
+                    tracer.merge(spans)
                     chain_parts[index].append(result)
                     cursor[index] += 1
                     if cursor[index] < len(chains[index].windows):
@@ -824,8 +900,10 @@ def run_scheduled(
                 initializer=_reset_child_metrics)
             try:
                 drive(
-                    lambda task: executor.submit(_simulate_one_warm, task),
-                    lambda payload: executor.submit(_run_exact_shard, payload),
+                    lambda task: executor.submit(
+                        _simulate_one_warm, (task, current_span_context())),
+                    lambda payload: executor.submit(
+                        _run_exact_shard, (payload, current_span_context())),
                 )
             except BaseException:
                 # Ctrl-C (or a worker crash) must not orphan workers:

@@ -25,6 +25,7 @@ non-2xx, paginated run listing, capability discovery:
 ``GET /v2/healthz``                liveness (+ drain state)
 ``GET /v2/stats``                  queue/lane/client/pool statistics
 ``GET /v2/metrics``                Prometheus text exposition
+``GET /v2/traces/<id>``            one trace's stitched span tree
 =================================  ==========================================
 
 **v1** (deprecated shim) — the original endpoints with responses
@@ -35,6 +36,11 @@ working unchanged.
 Auth: when a :class:`~repro.service.auth.TokenAuth` is configured,
 every endpoint except ``*/healthz`` requires ``Authorization: Bearer
 <token>`` (unauthenticated loopback peers are exempt unless disabled).
+``open_metrics=True`` (``repro serve --open-metrics`` /
+``REPRO_SERVICE_OPEN_METRICS=1``) additionally exempts the two
+Prometheus endpoints so a scraper needs no credentials — a deliberate
+trade-off that exposes operational counters (never results) to anyone
+who can reach the port; the default keeps them locked.
 The token's client identity keys per-client quotas
 (:mod:`repro.service.quota`) — over-limit submits get ``429`` with
 ``Retry-After``.
@@ -56,7 +62,7 @@ import math
 from typing import Any
 
 import repro
-from repro.obs import ensure_trace_id, get_metrics, new_trace_id
+from repro.obs import build_tree, ensure_trace_id, get_metrics, new_trace_id
 from repro.predictors.registry import available
 from repro.service.aio import (
     MAX_BODY_BYTES,
@@ -145,9 +151,11 @@ class ServiceHTTPServer(AsyncHTTPServer):
         auth: TokenAuth | None = None,
         header_timeout: float | None = None,
         body_timeout: float | None = None,
+        open_metrics: bool = False,
     ) -> None:
         self.service = service
         self.auth = auth
+        self.open_metrics = open_metrics
         kwargs: dict[str, Any] = {
             "max_body_bytes": MAX_BODY_BYTES,
             "error_renderer": _parser_error_response,
@@ -195,11 +203,16 @@ class ServiceHTTPServer(AsyncHTTPServer):
         """The request's client identity; raises :class:`AuthError`.
 
         ``*/healthz`` stays open — load balancers probe it without
-        credentials.
+        credentials.  With ``open_metrics`` the Prometheus endpoints
+        join the exemption (scrapers rarely carry bearer tokens); that
+        is opt-in because it exposes operational counters to anyone
+        who can reach the port.
         """
         if self.auth is None:
             return ANONYMOUS_CLIENT
         if path in ("/v1/healthz", "/v2/healthz"):
+            return ANONYMOUS_CLIENT
+        if self.open_metrics and path in ("/v1/metrics", "/v2/metrics"):
             return ANONYMOUS_CLIENT
         token = None
         header = request.header("authorization")
@@ -429,6 +442,23 @@ class ServiceHTTPServer(AsyncHTTPServer):
                 "text/plain; version=0.0.4; charset=utf-8")
         if path == "/v2/capabilities":
             return HTTPResponse.json(200, self._capabilities())
+        if path.startswith("/v2/traces/"):
+            wanted = path[len("/v2/traces/"):]
+            if "/" in wanted or not wanted:
+                return self._v2_error(
+                    404, "not_found", f"no such resource {path!r}", trace_id)
+            spans = service.spans.get(wanted)
+            if not spans:
+                return self._v2_error(
+                    404, "unknown_trace",
+                    f"no spans recorded for trace {wanted!r} (sampled out, "
+                    "expired from the store, or never seen)", trace_id)
+            return HTTPResponse.json(200, {
+                "trace_id": wanted,
+                "span_count": len(spans),
+                "spans": spans,
+                "tree": build_tree(spans),
+            })
         return self._v2_error(
             404, "not_found", f"no such resource {path!r}", trace_id)
 
@@ -567,11 +597,13 @@ def make_server(
     auth: TokenAuth | None = None,
     header_timeout: float | None = None,
     body_timeout: float | None = None,
+    open_metrics: bool = False,
 ) -> ServiceHTTPServer:
     """Bind (but do not run) the HTTP server; ``port=0`` picks a free port."""
     return ServiceHTTPServer(
         service, host, port, quiet=quiet, auth=auth,
-        header_timeout=header_timeout, body_timeout=body_timeout)
+        header_timeout=header_timeout, body_timeout=body_timeout,
+        open_metrics=open_metrics)
 
 
 def serve(
@@ -580,9 +612,11 @@ def serve(
     port: int = 8321,
     quiet: bool = True,
     auth: TokenAuth | None = None,
+    open_metrics: bool = False,
 ) -> None:
     """Run the service until interrupted, then shut down cleanly."""
-    server = make_server(service, host, port, quiet=quiet, auth=auth)
+    server = make_server(service, host, port, quiet=quiet, auth=auth,
+                         open_metrics=open_metrics)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

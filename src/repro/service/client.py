@@ -117,6 +117,14 @@ class ServiceClient:
         """The raw Prometheus text served by ``GET /v2/metrics``."""
         return self._call("GET", "/v2/metrics", raw=True)
 
+    def trace(self, trace_id: str) -> dict:
+        """One trace's stitched span tree (``GET /v2/traces/{id}``).
+
+        Raises :class:`ServiceClientError` with status 404 when the
+        trace was sampled out or has expired from the span store.
+        """
+        return self._call("GET", f"/v2/traces/{trace_id}")
+
     def fleet(self) -> dict:
         """The broker's fleet section of ``/v2/stats``.
 

@@ -60,7 +60,19 @@ from typing import Any, Callable, Sequence
 from repro.api.request import RunRequest
 from repro.api.results import suite_payload
 from repro.api.runner import Runner
-from repro.obs import bind_trace_id, ensure_trace_id, get_logger, get_metrics, log_event
+from repro.obs import (
+    SpanStore,
+    bind_span_context,
+    bind_trace_id,
+    ensure_trace_id,
+    get_logger,
+    get_metrics,
+    get_tracer,
+    log_event,
+    make_span,
+    new_span_id,
+    span,
+)
 from repro.service.protocol import Job, JobStatus, estimate_branches, parse_submission
 from repro.service.quota import ClientQuota
 from repro.service.store import MemoryResultStore, ResultStore
@@ -242,6 +254,8 @@ class SimulationService:
         self._live: dict[str, Job] = {}
         #: Jobs published to the broker and not yet terminal (broker mode).
         self._remote: dict[str, Job] = {}
+        #: Completed span trees, per trace id (``GET /v2/traces/{id}``).
+        self.spans = SpanStore()
         self._lock = threading.Lock()
         self._watcher: threading.Thread | None = None
         self._stop = threading.Event()
@@ -464,6 +478,11 @@ class SimulationService:
             raise ValueError("a job needs at least one request")
         job.client = client
         job.lane = self._classify(job.requests)
+        # The trace tree's root is minted at admission so every later
+        # span — lane queue, dispatch, broker ticket, worker execution —
+        # parents under one id.  None = the trace lost the sampling draw.
+        if get_tracer().sampled(job.trace_id):
+            job.root_span = new_span_id()
         lane = self._lanes[job.lane]
         with self._lock:
             if self._closed or self._draining:
@@ -811,21 +830,31 @@ class SimulationService:
             "repro_service_queue_wait_seconds",
             "Time a job spent queued before execution started.",
         ).observe(job.started - job.created)
+        context = (None if job.root_span is None else
+                   {"trace_id": job.trace_id, "span_id": job.root_span,
+                    "sampled": True})
         with bind_trace_id(job.trace_id):
             log_event(_LOG, logging.INFO, "job started", job=job.id,
                       lane=lane.name, requests=len(job.requests))
             try:
-                results = lane.runner.run_batch(job.requests)
+                with bind_span_context(context):
+                    with span("service.dispatch", lane=lane.name,
+                              job=job.id, proc="serve"):
+                        results = lane.runner.run_batch(job.requests)
                 job.results = [
                     suite_payload(request, result)
                     for request, result in zip(job.requests, results)
                 ]
-                job.status = JobStatus.DONE
+                outcome = JobStatus.DONE
             except Exception as error:  # noqa: BLE001 - job faults must not kill the service
                 message = str(error.args[0]) if error.args else str(error)
                 job.error = f"{type(error).__name__}: {message}"
-                job.status = JobStatus.FAILED
+                outcome = JobStatus.FAILED
             job.finished = time.time()
+            # Spans land in the store before the document turns terminal,
+            # so a poller that sees "done" can immediately fetch the trace.
+            self._record_request_spans(job, outcome=outcome)
+            job.status = outcome
             if job.status is JobStatus.DONE:
                 log_event(_LOG, logging.INFO, "job done", job=job.id,
                           seconds=round(job.finished - job.started, 6))
@@ -851,6 +880,39 @@ class SimulationService:
             self._live.pop(job.id, None)
         job.mark_done()
 
+    def _record_request_spans(self, job: Job, shipped=None,
+                              outcome: JobStatus | None = None) -> None:
+        """Synthesize the request-level spans and file everything by trace.
+
+        The root (``service.request``) and lane-queue spans are built
+        from the job's own timestamps — the queue wait has no natural
+        ``with`` block, submission and dispatch happen on different
+        threads — then the process recorder is drained so runner/pool
+        spans recorded during dispatch land in the span store alongside
+        ``shipped`` spans a fleet worker sent back with its completion.
+        ``outcome`` is the terminal status when the caller has not yet
+        published it on the job (spans are stored before the document
+        turns terminal so trace queries never race the status flip).
+        """
+        status = outcome if outcome is not None else job.status
+        if shipped:
+            self.spans.ingest(shipped)
+        if job.root_span is not None:
+            finished = job.finished or time.time()
+            synthesized = [make_span(
+                job.trace_id, job.root_span, None, "service.request",
+                job.created, max(0.0, finished - job.created),
+                status="ok" if status is JobStatus.DONE else "error",
+                attrs={"job": job.id, "lane": job.lane, "proc": "serve"})]
+            if job.started is not None:
+                synthesized.append(make_span(
+                    job.trace_id, new_span_id(), job.root_span,
+                    "service.queue", job.created,
+                    max(0.0, job.started - job.created),
+                    attrs={"lane": job.lane, "proc": "serve"}))
+            self.spans.ingest(synthesized)
+        self.spans.ingest(get_tracer().drain())
+
     # ------------------------------------------------------------------
     # Broker dispatch (publish + watch)
     # ------------------------------------------------------------------
@@ -866,6 +928,11 @@ class SimulationService:
             "batch": job.batch,
             "trace_id": job.trace_id,
         }
+        if job.root_span is not None:
+            # The executing worker adopts this context, so its spans
+            # parent under the front end's request root.
+            payload["span"] = {"trace_id": job.trace_id,
+                               "span_id": job.root_span, "sampled": True}
         try:
             self.broker.publish(job.id, payload)
             log_event(_LOG, logging.INFO, "job published",
@@ -928,7 +995,7 @@ class SimulationService:
     def _observe(self, job: Job, snapshot: dict[str, Any]) -> None:
         """Fold the broker's view of one published job into its document."""
         state = snapshot["state"]
-        terminal = False
+        outcome: JobStatus | None = None
         event: tuple[int, str, dict] | None = None
         registry = get_metrics()
         with self._lock:
@@ -954,32 +1021,36 @@ class SimulationService:
                          {"worker": job.worker, "attempt": job.attempts})
             elif state == "done":
                 job.results = snapshot["results"]
-                job.status = JobStatus.DONE
                 job.finished = snapshot.get("finished") or time.time()
                 self.completed += 1
-                terminal = True
+                outcome = JobStatus.DONE
                 event = (logging.INFO, "job done",
                          {"worker": job.worker, "attempt": job.attempts})
             elif state == "dead":
                 attempts = snapshot.get("attempts")
                 error = snapshot.get("error") or "no error recorded"
                 job.error = f"dead-letter after {attempts} attempts: {error}"
-                job.status = JobStatus.FAILED
                 job.finished = snapshot.get("finished") or time.time()
                 self.failed += 1
-                terminal = True
+                outcome = JobStatus.FAILED
                 event = (logging.WARNING, "job dead-lettered",
                          {"error": job.error})
         if event is not None:
             level, message, fields = event
             log_event(_LOG, level, message,
                       trace_id=job.trace_id, job=job.id, **fields)
-        if terminal:
-            _job_counter().inc(status=job.status.value)
+        if outcome is not None:
+            _job_counter().inc(status=outcome.value)
             registry.histogram(
                 "repro_service_job_seconds",
                 "Submit-to-terminal latency of one job.",
             ).observe(job.finished - job.created)
+            # Spans must be in the store BEFORE the document turns
+            # terminal, or a poller that sees "done" and immediately
+            # asks /v2/traces/{id} races a 404.
+            self._record_request_spans(job, shipped=snapshot.get("spans"),
+                                       outcome=outcome)
+            job.status = outcome
             self._finalize(job)
 
     def _finalize(self, job: Job) -> None:

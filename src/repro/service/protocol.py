@@ -115,6 +115,11 @@ class Job:
     #: and lanes are configured or not.
     client: str | None = field(default=None, compare=False)
     lane: str = field(default="default", compare=False)
+    #: Root span id of this job's trace tree (``None`` when the trace
+    #: lost the sampling draw).  Like ``client``/``lane`` it is NOT part
+    #: of :meth:`to_dict`: span data travels through the span store and
+    #: ``GET /v2/traces/{id}``, never the job document.
+    root_span: str | None = field(default=None, compare=False)
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
     #: Completion callbacks (fired once, after the terminal state is
     #: visible); the async front end bridges these onto its event loop.

@@ -49,6 +49,9 @@ ENDPOINTS = (
              "Queue, lane, client-quota, pool and cache statistics."),
     Endpoint("GET", "/v2/metrics",
              "Prometheus text exposition (includes fleet snapshots)."),
+    Endpoint("GET", "/v2/traces/{id}",
+             "One trace's stitched span tree (flat spans + nested tree); "
+             "`404` when unsampled or expired."),
     Endpoint("*", "/v1/...",
              "Deprecated shim: original endpoints, byte-identical bodies, "
              "`Deprecation: true` header."),

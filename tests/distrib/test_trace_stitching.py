@@ -1,0 +1,185 @@
+"""Cross-process trace stitching through the broker.
+
+Executing attempts ship their completed spans with ``complete``/``fail``;
+the broker accumulates them *next to* the results (never inside — the
+``results`` payload stays byte-identical to a span-free run) and the
+snapshot exposes the pile for the serving side to stitch.  Both brokers
+run the same assertions: span accumulation is part of the at-least-once
+contract, not an implementation detail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Runner, RunnerConfig
+from repro.distrib import FleetWorker, MemoryBroker
+from repro.obs import SpanRecorder, make_span, new_span_id, set_tracer
+
+REF = "synthetic:biased?length=250&seed=4"
+
+
+@pytest.fixture(autouse=True)
+def fresh_tracer():
+    """Workers drain the process-global recorder; isolate it per test."""
+    previous = set_tracer(SpanRecorder(sample_rate=1.0))
+    yield
+    set_tracer(previous)
+
+
+def _attempt_spans(trace_id: str, attempt: int, worker: str) -> list:
+    return [make_span(trace_id, new_span_id(), "root-span", "worker.execute",
+                      start=1000.0 + attempt, duration=0.25,
+                      attrs={"attempt": attempt, "worker": worker})]
+
+
+def test_completed_job_ships_spans_next_to_results(broker_factory):
+    broker = broker_factory()
+    broker.publish("job-1", {"n": 1})
+    broker.lease("w1")
+    spans = _attempt_spans("tr-stitch", 1, "w1")
+    assert broker.complete("job-1", "w1", ["payload"], spans=spans) is True
+
+    snap = broker.snapshot("job-1")
+    # The results payload is untouched by tracing...
+    assert snap["results"] == ["payload"]
+    # ...and the spans ride next to it.
+    assert [record["attrs"]["attempt"] for record in snap["spans"]] == [1]
+    assert snap["spans"][0]["trace_id"] == "tr-stitch"
+
+
+def test_spanless_completion_snapshot_has_empty_pile(broker_factory):
+    broker = broker_factory()
+    broker.publish("job-1", {})
+    broker.lease("w1")
+    broker.complete("job-1", "w1", ["ok"])
+    assert broker.snapshot("job-1")["spans"] == []
+
+
+def test_expired_lease_redelivery_accumulates_sibling_attempt_spans(
+        broker_factory, fake_clock):
+    """The re-delivered twin: worker 1's lease expires mid-run, worker 2
+    finishes the retry, then worker 1's late duplicate completion loses
+    the results race — but BOTH attempts' spans survive as siblings
+    under the same trace, which is exactly what a waterfall needs to
+    show the wasted first attempt."""
+    clock = fake_clock
+    broker = broker_factory(visibility=5.0, backoff_base=0.5, clock=clock)
+    broker.publish("job-1", {})
+
+    first = broker.lease("w1")
+    assert first.attempt == 1
+    clock.advance(6.0)
+    assert broker.reap() == 1
+    clock.advance(broker.backoff(1))
+    second = broker.lease("w2")
+    assert second.attempt == 2
+
+    # w2 wins; w1's zombie report arrives late.
+    assert broker.complete("job-1", "w2", ["from-w2"],
+                           spans=_attempt_spans("tr-twin", 2, "w2")) is True
+    assert broker.complete("job-1", "w1", ["from-w1"],
+                           spans=_attempt_spans("tr-twin", 1, "w1")) is False
+
+    snap = broker.snapshot("job-1")
+    assert snap["state"] == "done"
+    assert snap["results"] == ["from-w2"]  # first write won
+    attempts = sorted(record["attrs"]["attempt"] for record in snap["spans"])
+    assert attempts == [1, 2]
+    assert {record["trace_id"] for record in snap["spans"]} == {"tr-twin"}
+    assert {record["parent_id"] for record in snap["spans"]} == {"root-span"}
+
+
+def test_failed_attempts_file_spans_through_to_dead_letter(
+        broker_factory, fake_clock):
+    clock = fake_clock
+    broker = broker_factory(visibility=5.0, max_attempts=2,
+                            backoff_base=0.5, clock=clock)
+    broker.publish("job-1", {})
+    for attempt in (1, 2):
+        clock.advance(60.0)
+        lease = broker.lease(f"w{attempt}")
+        assert lease.attempt == attempt
+        broker.fail("job-1", f"w{attempt}", f"boom {attempt}",
+                    spans=_attempt_spans("tr-dead", attempt, f"w{attempt}"))
+
+    snap = broker.snapshot("job-1")
+    assert snap["state"] == "dead"
+    attempts = sorted(record["attrs"]["attempt"] for record in snap["spans"])
+    assert attempts == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: the FleetWorker adopts the ticket's span context
+# ---------------------------------------------------------------------------
+
+
+def _job_payload(request: dict, span_context: dict | None) -> dict:
+    payload = {"requests": [request], "batch": False}
+    if span_context is not None:
+        payload["span"] = span_context
+    return payload
+
+
+def test_worker_adopts_ticket_span_context_and_ships_its_tree():
+    request = {"predictor": {"kind": "gshare"}, "trace": REF}
+    broker = MemoryBroker()
+    broker.publish("job-1", _job_payload(request, {
+        "trace_id": "tr-fleet-1", "span_id": "dispatch-span", "sampled": True,
+    }))
+
+    worker = FleetWorker(broker, runner=Runner(RunnerConfig(workers=1)),
+                         worker_id="w1", poll_interval=0.01)
+    try:
+        assert worker.run(max_jobs=1) == 1
+    finally:
+        worker.runner.close()
+
+    spans = broker.snapshot("job-1")["spans"]
+    by_name = {record["name"]: record for record in spans}
+    execute = by_name["worker.execute"]
+    # The worker's root parents under the serving side's dispatch span,
+    # carries the attempt tag, and the whole subtree shares the trace id.
+    assert execute["trace_id"] == "tr-fleet-1"
+    assert execute["parent_id"] == "dispatch-span"
+    assert execute["attrs"]["attempt"] == 1
+    assert execute["attrs"]["worker"] == "w1"
+    assert "runner.batch" in by_name  # execution nested under the adoption
+    assert {record["trace_id"] for record in spans} == {"tr-fleet-1"}
+    children = [record for record in spans if record["name"] == "runner.batch"]
+    assert children[0]["parent_id"] == execute["span_id"]
+
+
+def test_worker_without_span_context_ships_nothing():
+    request = {"predictor": {"kind": "gshare"}, "trace": REF}
+    broker = MemoryBroker()
+    broker.publish("job-1", _job_payload(request, None))
+    worker = FleetWorker(broker, runner=Runner(RunnerConfig(workers=1)),
+                         worker_id="w1", poll_interval=0.01)
+    try:
+        assert worker.run(max_jobs=1) == 1
+    finally:
+        worker.runner.close()
+    assert broker.snapshot("job-1")["spans"] == []
+
+
+def test_failed_execution_still_ships_error_spans():
+    bad = {"predictor": {"kind": "gshare", "config": {"bogus": 1}},
+           "trace": REF}
+    broker = MemoryBroker(max_attempts=1)
+    broker.publish("job-1", _job_payload(bad, {
+        "trace_id": "tr-fail-1", "span_id": "dispatch-span", "sampled": True,
+    }))
+    worker = FleetWorker(broker, runner=Runner(RunnerConfig(workers=1)),
+                         worker_id="w1", poll_interval=0.01)
+    try:
+        assert worker.run(max_jobs=1) == 1
+    finally:
+        worker.runner.close()
+
+    snap = broker.snapshot("job-1")
+    assert snap["state"] == "dead"
+    execute = next(record for record in snap["spans"]
+                   if record["name"] == "worker.execute")
+    assert execute["status"] == "error"
+    assert execute["trace_id"] == "tr-fail-1"

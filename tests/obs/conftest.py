@@ -6,7 +6,7 @@ import logging
 
 import pytest
 
-from repro.obs import MetricsRegistry, set_metrics
+from repro.obs import MetricsRegistry, SpanRecorder, set_metrics, set_tracer
 
 
 @pytest.fixture(autouse=True)
@@ -15,6 +15,14 @@ def fresh_registry():
     previous = set_metrics(MetricsRegistry())
     yield
     set_metrics(previous)
+
+
+@pytest.fixture(autouse=True)
+def fresh_tracer():
+    """Each test gets its own process-global span recorder (all-sampled)."""
+    previous = set_tracer(SpanRecorder(sample_rate=1.0))
+    yield
+    set_tracer(previous)
 
 
 @pytest.fixture(autouse=True)
